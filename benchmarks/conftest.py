@@ -1,0 +1,58 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper at a reduced
+scale (64K-tuple relations by default; the paper uses 16M).  The resulting
+rows are printed so the run doubles as a report; absolute times come from the
+calibrated simulator, so the *shape* of each figure — who wins, by roughly
+what factor, where the crossovers are — is the reproduction target, not the
+absolute numbers.
+
+Set the environment variable ``REPRO_BENCH_TUPLES`` to run at a larger scale
+(e.g. the paper's 16000000).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+#: Default relation size for the benchmark runs.  200K tuples keeps the SHJ
+#: hash table above the 4 MB shared cache (the paper's memory-stall regime)
+#: while the whole suite still finishes in a few minutes.
+BENCH_TUPLES = int(os.environ.get("REPRO_BENCH_TUPLES", "200000"))
+
+#: The regenerated figure/table rows are also appended here, because pytest
+#: captures stdout of passing tests; this file is the human-readable report.
+REPORT_PATH = Path(__file__).resolve().parent.parent / "bench_report.txt"
+
+
+@pytest.fixture(scope="session")
+def bench_tuples() -> int:
+    return BENCH_TUPLES
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _fresh_report() -> None:
+    REPORT_PATH.write_text(
+        f"Regenerated tables and figures (relation size {BENCH_TUPLES} tuples)\n\n"
+    )
+
+
+@pytest.fixture()
+def run_experiment(benchmark):
+    """Benchmark an experiment runner once, print and record its rows."""
+
+    def _run(runner, **kwargs):
+        result = benchmark.pedantic(
+            runner, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0
+        )
+        text = result.to_text()
+        print()
+        print(text)
+        with REPORT_PATH.open("a", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        return result
+
+    return _run

@@ -1,0 +1,30 @@
+"""Benchmarks for Figure 3 (architecture breakdown) and Figure 4 (unit costs)."""
+
+from __future__ import annotations
+
+from repro.experiments import run_fig03, run_fig04
+
+
+def test_bench_fig03_discrete_vs_coupled_breakdown(run_experiment, bench_tuples):
+    """Figure 3: time breakdown on discrete and coupled architectures."""
+    result = run_experiment(run_fig03, build_tuples=bench_tuples)
+    discrete = [r for r in result.rows if r["architecture"] == "discrete"]
+    coupled = [r for r in result.rows if r["architecture"] == "coupled"]
+    # PCI-e transfer and merge exist only on the discrete architecture.
+    assert all(r["data_transfer_s"] > 0.0 for r in discrete)
+    assert all(r["data_transfer_s"] == 0.0 for r in coupled)
+    # The coupled architecture is never slower than the emulated discrete one.
+    for d, c in zip(discrete, coupled):
+        assert c["total_s"] <= d["total_s"]
+
+
+def test_bench_fig04_step_unit_costs(run_experiment, bench_tuples):
+    """Figure 4: per-step ns/tuple on the CPU and the GPU (PHJ)."""
+    result = run_experiment(run_fig04, build_tuples=bench_tuples)
+    rows = {row["step"]: row for row in result.rows}
+    # Hash-computation steps are strongly GPU favoured (paper: >15x).
+    for step in ("n1", "b1", "p1"):
+        assert rows[step]["gpu_speedup"] > 5.0
+    # Pointer-chasing steps are close between the devices.
+    for step in ("b3", "p3"):
+        assert 0.3 < rows[step]["gpu_speedup"] < 3.0

@@ -1,0 +1,60 @@
+"""Benchmarks for Figures 5-9: optimal ratios and cost-model validation."""
+
+from __future__ import annotations
+
+from repro.experiments import (
+    run_fig05,
+    run_fig06,
+    run_fig07,
+    run_fig08,
+    run_fig09,
+)
+
+
+def test_bench_fig05_shj_pl_ratios(run_experiment, bench_tuples):
+    """Figure 5: optimal per-step ratios of SHJ-PL."""
+    result = run_experiment(run_fig05, build_tuples=bench_tuples)
+    hash_rows = [r for r in result.rows if r["step"] in ("b1", "p1")]
+    # The GPU takes (almost) all of the hash-computation steps.
+    assert all(r["cpu_ratio"] <= 0.2 for r in hash_rows)
+    assert all(0.0 <= r["cpu_ratio"] <= 1.0 for r in result.rows)
+
+
+def test_bench_fig06_phj_pl_ratios(run_experiment, bench_tuples):
+    """Figure 6: optimal per-step ratios of PHJ-PL."""
+    result = run_experiment(run_fig06, build_tuples=bench_tuples)
+    assert {r["phase"] for r in result.rows} == {"partition", "build", "probe"}
+    hash_rows = [r for r in result.rows if r["step"] in ("n1", "b1", "p1")]
+    assert all(r["cpu_ratio"] <= 0.2 for r in hash_rows)
+
+
+def test_bench_fig07_dd_ratio_sweep(run_experiment, bench_tuples):
+    """Figure 7: estimated vs measured SHJ-DD time over the ratio sweep."""
+    result = run_experiment(run_fig07, build_tuples=bench_tuples, ratio_step=0.1)
+    # The estimate never exceeds the measurement by much: the model omits
+    # latch and divergence overheads, so it sits at or below the measurement.
+    for row in result.rows:
+        assert row["estimated_s"] <= row["measured_s"] * 1.10
+    # The sweep exhibits a minimum strictly inside (0, 1): co-processing wins.
+    for phase in ("build", "probe"):
+        rows = [r for r in result.rows if r["phase"] == phase]
+        best = min(rows, key=lambda r: r["measured_s"])
+        assert 0.0 < best["cpu_ratio_pct"] < 100.0
+
+
+def test_bench_fig08_pl_special_case(run_experiment, bench_tuples):
+    """Figure 8: PL special case (b1/p1 on the GPU, shared ratio elsewhere)."""
+    result = run_experiment(run_fig08, build_tuples=bench_tuples, ratio_step=0.1)
+    assert {r["phase"] for r in result.rows} == {"build", "probe"}
+    assert all(row["estimated_s"] > 0.0 for row in result.rows)
+
+
+def test_bench_fig09_monte_carlo(run_experiment):
+    """Figure 9: Monte Carlo CDF vs the cost model's chosen ratios."""
+    result = run_experiment(run_fig09, build_tuples=30_000, n_samples=100)
+    summaries = [r for r in result.rows if r["kind"] == "summary"]
+    assert len(summaries) == 2
+    for row in summaries:
+        # The chosen setting is close to the best random one (paper: "very close").
+        assert row["elapsed_s"] <= row["best_random_s"] * 1.25
+        assert row["fraction"] >= 0.8  # beats at least 80% of random settings

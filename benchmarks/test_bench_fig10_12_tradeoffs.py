@@ -1,0 +1,45 @@
+"""Benchmarks for Figures 10-12: hash-table sharing and the memory allocator."""
+
+from __future__ import annotations
+
+from repro.experiments import run_fig10, run_fig11, run_fig12
+
+
+def test_bench_fig10_shared_vs_separate_tables(run_experiment, bench_tuples):
+    """Figure 10: DD build phase with separate vs shared hash tables."""
+    result = run_experiment(run_fig10, build_tuples=bench_tuples)
+    rows = {(r["variant"], r["hash_table"]): r for r in result.rows}
+    for variant in ("SHJ-DD", "PHJ-DD"):
+        shared = rows[(variant, "shared")]
+        separate = rows[(variant, "separate")]
+        assert shared["build_s"] < separate["build_s"]
+        assert shared["merge_s"] == 0.0
+        assert separate["merge_s"] > 0.0
+
+
+def test_bench_fig11_allocator_block_size(run_experiment, bench_tuples):
+    """Figure 11: PHJ elapsed time and lock overhead vs allocation block size."""
+    result = run_experiment(
+        run_fig11,
+        build_tuples=bench_tuples,
+        block_sizes=(8, 64, 512, 2048, 32768),
+        schemes=("DD", "PL"),
+    )
+    for scheme in ("DD", "PL"):
+        rows = {
+            r["block_bytes"]: r for r in result.rows if r["variant"] == f"PHJ-{scheme}"
+        }
+        # Lock overhead shrinks with the block size; beyond ~2 KB it is stable.
+        assert rows[2048]["lock_overhead_s"] <= rows[8]["lock_overhead_s"]
+        assert rows[2048]["elapsed_s"] <= rows[8]["elapsed_s"]
+        assert abs(rows[32768]["elapsed_s"] - rows[2048]["elapsed_s"]) <= (
+            0.15 * rows[2048]["elapsed_s"] + 1e-9
+        )
+
+
+def test_bench_fig12_basic_vs_optimised_allocator(run_experiment, bench_tuples):
+    """Figure 12: basic vs optimised (block) memory allocator."""
+    result = run_experiment(run_fig12, build_tuples=bench_tuples)
+    by_key = {(r["variant"], r["allocator"]): r["elapsed_s"] for r in result.rows}
+    for variant in ("SHJ-DD", "SHJ-OL", "SHJ-PL", "PHJ-DD", "PHJ-OL", "PHJ-PL"):
+        assert by_key[(variant, "Ours")] <= by_key[(variant, "Basic")]

@@ -1,0 +1,77 @@
+"""Benchmarks for Figures 13-15: end-to-end comparisons."""
+
+from __future__ import annotations
+
+from repro.experiments import run_fig13, run_fig14, run_fig15
+
+
+def _size_sweep_for(bench_tuples: int) -> tuple[int, ...]:
+    return (
+        max(bench_tuples // 8, 2_000),
+        max(bench_tuples // 4, 4_000),
+        max(bench_tuples // 2, 8_000),
+        bench_tuples,
+    )
+
+
+def test_bench_fig13_uniform_size_sweep(run_experiment, bench_tuples):
+    """Figure 13: elapsed time vs build size on uniform data."""
+    sizes = _size_sweep_for(bench_tuples)
+    result = run_experiment(
+        run_fig13, build_sizes=sizes, probe_tuples=bench_tuples
+    )
+    for algorithm in ("SHJ", "PHJ"):
+        for size in sizes:
+            rows = {
+                r["scheme"]: r["elapsed_s"]
+                for r in result.rows
+                if r["algorithm"] == algorithm and r["build_tuples"] == size
+            }
+            # Co-processing beats single-device execution; PL is the best scheme.
+            assert rows["PL"] <= rows["CPU-only"]
+            assert rows["DD"] <= rows["CPU-only"]
+            assert rows["PL"] <= rows["DD"] * 1.001
+        # Elapsed time grows with the build size.
+        pl_times = [
+            r["elapsed_s"]
+            for r in result.rows
+            if r["algorithm"] == algorithm and r["scheme"] == "PL"
+        ]
+        assert pl_times == sorted(pl_times)
+
+
+def test_bench_fig14_high_skew_size_sweep(run_experiment, bench_tuples):
+    """Figure 14: the same sweep on the high-skew data set."""
+    sizes = _size_sweep_for(bench_tuples)[:3]
+    result = run_experiment(
+        run_fig14, build_sizes=sizes, probe_tuples=bench_tuples
+    )
+    for algorithm in ("SHJ", "PHJ"):
+        for size in sizes:
+            rows = {
+                r["scheme"]: r["elapsed_s"]
+                for r in result.rows
+                if r["algorithm"] == algorithm and r["build_tuples"] == size
+            }
+            assert rows["PL"] <= rows["CPU-only"]
+
+
+def test_bench_fig15_join_selectivity(run_experiment, bench_tuples):
+    """Figure 15: PHJ phase breakdown with join selectivity varied."""
+    result = run_experiment(run_fig15, build_tuples=bench_tuples)
+    # The conventional DD scheme shows the paper's mild probe-time growth with
+    # selectivity; for every scheme the overall impact stays marginal because
+    # only matching rid pairs are emitted.
+    dd_rows = sorted(
+        (r for r in result.rows if r["scheme"] == "DD"),
+        key=lambda r: r["selectivity_pct"],
+    )
+    assert dd_rows[0]["probe_s"] <= dd_rows[-1]["probe_s"] * 1.05
+    for scheme in ("DD", "OL", "PL"):
+        rows = sorted(
+            (r for r in result.rows if r["scheme"] == scheme),
+            key=lambda r: r["selectivity_pct"],
+        )
+        assert rows[0]["matches"] < rows[-1]["matches"]
+        totals = [r["total_s"] for r in rows]
+        assert max(totals) <= min(totals) * 1.25

@@ -1,0 +1,76 @@
+"""Benchmarks for the appendix experiments: Figures 16-20."""
+
+from __future__ import annotations
+
+from repro.experiments import (
+    run_fig16,
+    run_fig17,
+    run_fig18,
+    run_fig19,
+    run_fig20,
+)
+
+
+def test_bench_fig16_basicunit_vs_fine_grained(run_experiment, bench_tuples):
+    """Figure 16: BasicUnit scheduling vs fine-grained co-processing."""
+    result = run_experiment(run_fig16, build_tuples=bench_tuples)
+    rows = {row["variant"]: row["elapsed_s"] for row in result.rows}
+    assert rows["SHJ-PL"] < rows["BasicUnit (SHJ)"]
+    assert rows["PHJ-PL"] < rows["BasicUnit (PHJ)"]
+
+
+def test_bench_fig17_basicunit_ratios_shj(run_experiment, bench_tuples):
+    """Figure 17: per-phase ratios of SHJ under BasicUnit."""
+    result = run_experiment(run_fig17, build_tuples=bench_tuples)
+    assert {row["phase"] for row in result.rows} == {"build", "probe"}
+    assert all(0.0 <= row["cpu_ratio_pct"] <= 100.0 for row in result.rows)
+
+
+def test_bench_fig18_basicunit_ratios_phj(run_experiment, bench_tuples):
+    """Figure 18: per-phase ratios of PHJ under BasicUnit."""
+    result = run_experiment(run_fig18, build_tuples=bench_tuples)
+    assert {row["phase"] for row in result.rows} == {"partition", "build", "probe"}
+
+
+def test_bench_fig19_out_of_buffer_joins(run_experiment, bench_tuples):
+    """Figure 19: joins larger than the zero copy buffer."""
+    sizes = (bench_tuples // 2, bench_tuples, bench_tuples * 2)
+    result = run_experiment(
+        run_fig19, sizes=sizes, buffer_bytes=2 * 1024 * 1024, chunk_tuples=bench_tuples
+    )
+    out_of_buffer = [r for r in result.rows if not r["fits_in_buffer"]]
+    assert out_of_buffer, "the sweep must include at least one out-of-buffer point"
+    for row in out_of_buffer:
+        assert row["partition_s"] > 0.0
+        assert row["data_copy_s"] > 0.0
+        # The staging copy stays a small fraction of the total (paper: ~4%).
+        assert row["copy_pct"] < 30.0
+    # Total time grows with the relation size for each pair-join variant.
+    for variant in ("SHJ-PL", "PHJ-PL"):
+        times = [r["total_s"] for r in result.rows if r["pair_join"] == variant]
+        assert times == sorted(times)
+
+
+def test_bench_fig20_latch_microbenchmark(run_experiment):
+    """Figure 20: locking overhead on the CPU and the GPU."""
+    result = run_experiment(
+        run_fig20,
+        array_sizes=(1, 16, 256, 4_096, 65_536, 1_048_576, 4_194_304),
+        total_increments=1_000_000,
+    )
+    for device in ("cpu", "gpu"):
+        uniform = {
+            r["n_integers"]: r["elapsed_s"]
+            for r in result.rows
+            if r["device"] == device and r["distribution"] == "uniform"
+        }
+        # Contention cost falls as the number of latch targets grows.
+        assert uniform[4_096] < uniform[1]
+        # Beyond the cache size the high-skew run is no slower than uniform
+        # (locality compensates the latches), as the paper observes.
+        high_skew = {
+            r["n_integers"]: r["elapsed_s"]
+            for r in result.rows
+            if r["device"] == device and r["distribution"] == "high-skew"
+        }
+        assert high_skew[4_194_304] <= uniform[4_194_304] * 1.02

@@ -1,0 +1,37 @@
+"""Benchmarks for the Section 5.5 headline result and the grouping study."""
+
+from __future__ import annotations
+
+from repro.experiments import improvement, run_grouping_study, run_headline
+
+
+def test_bench_headline_fine_grained_co_processing(run_experiment, bench_tuples):
+    """Section 5.5: PL vs CPU-only, GPU-only and conventional DD co-processing.
+
+    The headline comparison is run at 4x the default benchmark scale so that
+    the SHJ hash table clearly exceeds the 4 MB shared cache — the regime the
+    paper's 16M-tuple experiments operate in, and the one where PHJ-PL's
+    cache-resident partitions pay off against SHJ-PL.
+    """
+    result = run_experiment(run_headline, build_tuples=4 * bench_tuples)
+    rows = {(r["algorithm"], r["scheme"]): r["elapsed_s"] for r in result.rows}
+    for algorithm in ("SHJ", "PHJ"):
+        pl = rows[(algorithm, "PL")]
+        # The paper reports improvements of up to 53% / 35% / 28%; at reduced
+        # scale we require the same ordering with clearly positive margins over
+        # the single-device baselines.
+        assert improvement(rows[(algorithm, "CPU-only")], pl) > 20.0
+        assert improvement(rows[(algorithm, "GPU-only")], pl) > 10.0
+        assert pl <= rows[(algorithm, "DD")] * 1.001
+    # SHJ-PL and PHJ-PL are competitive with each other (paper: within ~6%).
+    ratio = rows[("PHJ", "PL")] / rows[("SHJ", "PL")]
+    assert 0.7 < ratio < 1.3
+
+
+def test_bench_grouping_divergence_optimisation(run_experiment, bench_tuples):
+    """Section 5.4: divergence grouping gains 5-10% on skewed data."""
+    result = run_experiment(run_grouping_study, build_tuples=bench_tuples)
+    rows = {row["grouping"]: row["elapsed_s"] for row in result.rows}
+    gain = improvement(rows["ungrouped"], rows["grouped"])
+    assert gain > 0.0
+    assert gain < 30.0

@@ -1,0 +1,21 @@
+"""Benchmarks regenerating Table 1 and Table 3 of the paper."""
+
+from __future__ import annotations
+
+from repro.experiments import run_table1, run_table3
+
+
+def test_bench_table1_hardware_configuration(run_experiment):
+    """Table 1: hardware configuration of the simulated APU."""
+    result = run_experiment(run_table1)
+    metrics = {row["metric"]: row for row in result.rows}
+    assert metrics["# Cores"]["CPU (APU)"] == 4
+    assert metrics["# Cores"]["GPU (APU)"] == 400
+
+
+def test_bench_table3_step_granularity(run_experiment, bench_tuples):
+    """Table 3: fine-grained PHJ-PL vs coarse-grained PHJ-PL'."""
+    result = run_experiment(run_table3, build_tuples=bench_tuples)
+    rows = {row["variant"]: row for row in result.rows}
+    assert rows["PHJ-PL'"]["elapsed_s"] > rows["PHJ-PL"]["elapsed_s"]
+    assert rows["PHJ-PL'"]["cache_miss_ratio"] >= rows["PHJ-PL"]["cache_miss_ratio"]

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Joining relations larger than the zero copy buffer (paper Appendix).
+
+The APU's zero copy buffer is small (512 MB on the A8-3870K), so larger
+inputs are staged through it: partition chunk by chunk inside the buffer,
+copy the partitions out to system memory, then join each partition pair
+in-buffer with PHJ-PL.  This example shrinks the simulated buffer so the
+out-of-buffer path triggers at demo scale and prints the Figure 19 style
+breakdown (partition / join / data-copy time) for a sweep of input sizes.
+
+Run with::
+
+    python examples/out_of_buffer_join.py
+"""
+
+from __future__ import annotations
+
+from repro.core import external_pair_joiner
+from repro.data import JoinWorkload
+from repro.experiments import small_buffer_machine
+from repro.hashjoin import ExternalHashJoin
+
+
+def main() -> None:
+    buffer_bytes = 2 * 1024 * 1024  # 2 MB stand-in for the paper's 512 MB
+    sizes = (50_000, 100_000, 200_000, 400_000)
+
+    header = (
+        f"{'tuples/relation':>16s} {'fits?':>6s} {'partitions':>11s} "
+        f"{'partition ms':>13s} {'join ms':>9s} {'copy ms':>9s} {'copy %':>7s} {'matches':>10s}"
+    )
+    print(f"Zero copy buffer: {buffer_bytes // 1024} KB (scaled stand-in)")
+    print(header)
+    print("-" * len(header))
+
+    for n_tuples in sizes:
+        workload = JoinWorkload.uniform(n_tuples, n_tuples, seed=3)
+        machine = small_buffer_machine(buffer_bytes)
+        joiner = external_pair_joiner("PHJ", "PL", machine=machine)
+        external = ExternalHashJoin(joiner, machine=machine, chunk_tuples=100_000)
+        run = external.run(workload.build, workload.probe)
+        b = run.breakdown
+        copy_pct = 100.0 * b.data_copy_s / b.total_s if b.total_s else 0.0
+        print(
+            f"{n_tuples:>16,} {str(run.fits_in_buffer):>6s} {run.n_super_partitions:>11d} "
+            f"{b.partition_s * 1e3:>13.2f} {b.join_s * 1e3:>9.2f} {b.data_copy_s * 1e3:>9.2f} "
+            f"{copy_pct:>7.1f} {run.result.match_count:>10,}"
+        )
+
+    print()
+    print("Partition and join time grow roughly linearly with the input; the staging")
+    print("copies stay a small fraction of the total, as the paper reports (~4%).")
+
+
+if __name__ == "__main__":
+    main()

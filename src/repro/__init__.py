@@ -1,0 +1,81 @@
+"""repro — reproduction of "Revisiting Co-Processing for Hash Joins on the
+Coupled CPU-GPU Architecture" (He, Lu, He — VLDB 2013).
+
+The package implements the paper's fine-grained CPU-GPU co-processing schemes
+for hash joins (off-loading, data dividing, pipelined execution), the simple
+and radix-partitioned hash joins they operate on, the cost model that picks
+workload ratios automatically, and a calibrated simulator of the coupled
+AMD APU / emulated discrete architecture the paper evaluates on.
+
+Quick start::
+
+    from repro import JoinWorkload, run_join
+
+    workload = JoinWorkload.uniform(build_tuples=1_000_000, probe_tuples=1_000_000)
+    timing = run_join("PHJ", "PL", workload.build, workload.probe)
+    print(timing.total_s, timing.result.match_count)
+"""
+
+from .core import (
+    BasicUnitScheduler,
+    CoProcessingExecutor,
+    HashJoinVariant,
+    JoinPlanner,
+    JoinTiming,
+    Scheme,
+    VariantConfig,
+    run_all_variants,
+    run_join,
+)
+from .costmodel import (
+    CalibrationTable,
+    StepCost,
+    estimate_series,
+    optimize_dd,
+    optimize_ol,
+    optimize_pl,
+)
+from .data import DatasetSpec, JoinWorkload, Relation
+from .hardware import Machine, coupled_machine, discrete_machine, table1_rows
+from .hashjoin import (
+    HashJoinConfig,
+    HashTable,
+    JoinResult,
+    PartitionConfig,
+    PartitionedHashJoin,
+    SimpleHashJoin,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BasicUnitScheduler",
+    "CalibrationTable",
+    "CoProcessingExecutor",
+    "DatasetSpec",
+    "HashJoinConfig",
+    "HashJoinVariant",
+    "HashTable",
+    "JoinPlanner",
+    "JoinResult",
+    "JoinTiming",
+    "JoinWorkload",
+    "Machine",
+    "PartitionConfig",
+    "PartitionedHashJoin",
+    "Relation",
+    "Scheme",
+    "SimpleHashJoin",
+    "StepCost",
+    "VariantConfig",
+    "coupled_machine",
+    "discrete_machine",
+    "estimate_series",
+    "optimize_dd",
+    "optimize_ol",
+    "optimize_pl",
+    "run_all_variants",
+    "run_join",
+    "table1_rows",
+    "__version__",
+]

@@ -1,0 +1,153 @@
+"""Command-line interface for running the paper's experiments.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro list
+    python -m repro run fig04 --tuples 200000
+    python -m repro run headline --tuples 256000 --format markdown
+    python -m repro report --tuples 100000 --output report.md
+    python -m repro join --algorithm PHJ --scheme PL --tuples 500000
+
+``run`` executes a single experiment runner (see ``list`` for the names),
+``report`` executes every runner and writes one combined markdown report, and
+``join`` runs a single co-processed join and prints its breakdown.
+"""
+
+from __future__ import annotations
+
+import argparse
+import inspect
+import sys
+from typing import Callable, Sequence
+
+from .core.joins import run_join
+from .data.workload import JoinWorkload
+from .experiments import ALL_EXPERIMENTS, ExperimentResult
+from .hardware.machine import coupled_machine, discrete_machine
+
+
+def _supports_argument(runner: Callable, name: str) -> bool:
+    return name in inspect.signature(runner).parameters
+
+
+def _invoke_runner(runner: Callable, tuples: int | None) -> ExperimentResult:
+    kwargs = {}
+    if tuples is not None and _supports_argument(runner, "build_tuples"):
+        kwargs["build_tuples"] = tuples
+    return runner(**kwargs)
+
+
+def _format_result(result: ExperimentResult, fmt: str) -> str:
+    if fmt == "markdown":
+        return result.to_markdown()
+    return result.to_text()
+
+
+# ---------------------------------------------------------------------------
+# Sub-commands
+# ---------------------------------------------------------------------------
+def cmd_list(args: argparse.Namespace) -> int:
+    print("Available experiments:")
+    for name, runner in ALL_EXPERIMENTS.items():
+        doc = (runner.__doc__ or "").strip().splitlines()
+        summary = doc[0] if doc else ""
+        print(f"  {name:10s} {summary}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    if args.experiment not in ALL_EXPERIMENTS:
+        print(f"unknown experiment {args.experiment!r}; try 'python -m repro list'",
+              file=sys.stderr)
+        return 2
+    result = _invoke_runner(ALL_EXPERIMENTS[args.experiment], args.tuples)
+    print(_format_result(result, args.format))
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    sections: list[str] = ["# Reproduction report", ""]
+    for name, runner in ALL_EXPERIMENTS.items():
+        if args.only and name not in args.only:
+            continue
+        result = _invoke_runner(runner, args.tuples)
+        sections.append(result.to_markdown())
+        print(f"[done] {name}", file=sys.stderr)
+    report = "\n".join(sections)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report)
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(report)
+    return 0
+
+
+def cmd_join(args: argparse.Namespace) -> int:
+    workload = (
+        JoinWorkload.skewed(args.skew, args.tuples, args.tuples, seed=args.seed)
+        if args.skew != "uniform"
+        else JoinWorkload.uniform(args.tuples, args.tuples, seed=args.seed)
+    )
+    machine = discrete_machine() if args.architecture == "discrete" else coupled_machine()
+    timing = run_join(args.algorithm, args.scheme, workload.build, workload.probe,
+                      machine=machine)
+    print(f"variant      : {timing.variant} ({timing.architecture})")
+    print(f"matches      : {timing.result.match_count}")
+    print(f"elapsed (sim): {timing.total_s:.6f} s")
+    print(f"estimated    : {timing.estimated_s:.6f} s")
+    for key, value in timing.breakdown().items():
+        print(f"  {key:16s} {value:.6f}")
+    for phase, ratios in timing.ratios_by_phase().items():
+        print(f"  ratios[{phase:9s}] {[round(r, 2) for r in ratios]}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Revisiting Co-Processing for Hash Joins on the "
+                    "Coupled CPU-GPU Architecture' (VLDB 2013)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    sub_list = subparsers.add_parser("list", help="list the available experiments")
+    sub_list.set_defaults(func=cmd_list)
+
+    sub_run = subparsers.add_parser("run", help="run one experiment and print its rows")
+    sub_run.add_argument("experiment", help="experiment name (see 'list')")
+    sub_run.add_argument("--tuples", type=int, default=None,
+                         help="build-relation size (default: the runner's default)")
+    sub_run.add_argument("--format", choices=("text", "markdown"), default="text")
+    sub_run.set_defaults(func=cmd_run)
+
+    sub_report = subparsers.add_parser("report", help="run every experiment into one report")
+    sub_report.add_argument("--tuples", type=int, default=None)
+    sub_report.add_argument("--output", default=None, help="write markdown to this file")
+    sub_report.add_argument("--only", nargs="*", default=None,
+                            help="restrict to these experiment names")
+    sub_report.set_defaults(func=cmd_report)
+
+    sub_join = subparsers.add_parser("join", help="run a single co-processed join")
+    sub_join.add_argument("--algorithm", choices=("SHJ", "PHJ"), default="PHJ")
+    sub_join.add_argument("--scheme", default="PL",
+                          help="CPU-only, GPU-only, OL, DD or PL (default PL)")
+    sub_join.add_argument("--tuples", type=int, default=200_000)
+    sub_join.add_argument("--skew", choices=("uniform", "low-skew", "high-skew"),
+                          default="uniform")
+    sub_join.add_argument("--architecture", choices=("coupled", "discrete"),
+                          default="coupled")
+    sub_join.add_argument("--seed", type=int, default=42)
+    sub_join.set_defaults(func=cmd_join)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,155 @@
+"""Automatic tuning of the co-processing design space (Section 5.6).
+
+The paper concludes that the fine-grained design space — scheme, workload
+ratios, shared vs. separate hash tables, allocator block size, divergence
+grouping — has too many knobs to tune by hand and that the cost model makes
+the tuning automatic.  :class:`JoinPlanner` is that auto-tuner: given a
+workload and a machine it evaluates the candidate configurations with the
+cost model (plus cheap pilot executions for the knobs the model does not
+capture) and returns the configuration it would run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..data.relation import Relation
+from ..hardware.machine import Machine, coupled_machine
+from ..hashjoin.simple import HashJoinConfig
+from .joins import PHJ, SHJ, HashJoinVariant, JoinTiming, VariantConfig
+from .schemes import Scheme
+
+#: Allocator block sizes swept by the planner (Figure 11's x axis).
+CANDIDATE_BLOCK_BYTES: tuple[int, ...] = (64, 256, 1024, 2048, 8192)
+
+
+@dataclass
+class PlanCandidate:
+    """One evaluated configuration."""
+
+    config: VariantConfig
+    estimated_s: float
+    measured_s: float
+
+    @property
+    def name(self) -> str:
+        return self.config.name
+
+
+@dataclass
+class JoinPlan:
+    """The planner's decision plus everything it considered."""
+
+    chosen: PlanCandidate
+    candidates: list[PlanCandidate] = field(default_factory=list)
+
+    @property
+    def config(self) -> VariantConfig:
+        return self.chosen.config
+
+    def ranking(self) -> list[PlanCandidate]:
+        return sorted(self.candidates, key=lambda c: c.measured_s)
+
+
+class JoinPlanner:
+    """Pick algorithm, scheme and tuning knobs for one workload."""
+
+    def __init__(
+        self,
+        machine: Machine | None = None,
+        pilot_fraction: float = 0.05,
+        min_pilot_tuples: int = 2_000,
+        max_pilot_tuples: int = 100_000,
+    ) -> None:
+        if not 0.0 < pilot_fraction <= 1.0:
+            raise ValueError("pilot_fraction must be in (0, 1]")
+        self.machine = machine or coupled_machine()
+        self.pilot_fraction = pilot_fraction
+        self.min_pilot_tuples = min_pilot_tuples
+        self.max_pilot_tuples = max_pilot_tuples
+
+    # ------------------------------------------------------------------
+    def _pilot(self, relation: Relation) -> Relation:
+        n = len(relation)
+        size = int(n * self.pilot_fraction)
+        size = max(min(size, self.max_pilot_tuples), min(self.min_pilot_tuples, n))
+        return relation.slice(0, size, name=f"{relation.name}-pilot")
+
+    def _evaluate(self, config: VariantConfig, build: Relation, probe: Relation) -> PlanCandidate:
+        timing = HashJoinVariant(config).execute(build, probe, machine=self.machine)
+        return PlanCandidate(
+            config=config, estimated_s=timing.estimated_s, measured_s=timing.total_s
+        )
+
+    # ------------------------------------------------------------------
+    def tune_allocator_block(
+        self,
+        build: Relation,
+        probe: Relation,
+        base: VariantConfig,
+        candidates: tuple[int, ...] = CANDIDATE_BLOCK_BYTES,
+    ) -> int:
+        """Pick the allocator block size on a pilot workload (Figure 11)."""
+        best_bytes = candidates[0]
+        best_time = float("inf")
+        for block in candidates:
+            config = replace(
+                base,
+                join_config=replace(base.join_config, allocator_block_bytes=block),
+            )
+            candidate = self._evaluate(config, build, probe)
+            if candidate.measured_s < best_time:
+                best_time = candidate.measured_s
+                best_bytes = block
+        return best_bytes
+
+    def choose_hash_table_sharing(
+        self, build: Relation, probe: Relation, base: VariantConfig
+    ) -> bool:
+        """Shared vs. separate hash tables (Figure 10) on a pilot workload."""
+        shared = self._evaluate(replace(base, shared_hash_table=True), build, probe)
+        separate = self._evaluate(replace(base, shared_hash_table=False), build, probe)
+        return shared.measured_s <= separate.measured_s
+
+    # ------------------------------------------------------------------
+    def plan(
+        self,
+        build: Relation,
+        probe: Relation,
+        algorithms: tuple[str, ...] = (SHJ, PHJ),
+        schemes: tuple[Scheme, ...] = (
+            Scheme.CPU_ONLY,
+            Scheme.GPU_ONLY,
+            Scheme.DATA_DIVIDING,
+            Scheme.PIPELINED,
+        ),
+        tune_allocator: bool = True,
+        tune_sharing: bool = True,
+    ) -> JoinPlan:
+        """Evaluate the design space on a pilot sample and pick a configuration."""
+        pilot_build = self._pilot(build)
+        pilot_probe = self._pilot(probe)
+
+        base_join_config = HashJoinConfig()
+        base = VariantConfig(algorithm=SHJ, scheme=Scheme.PIPELINED, join_config=base_join_config)
+
+        if tune_allocator:
+            block = self.tune_allocator_block(pilot_build, pilot_probe, base)
+            base = replace(base, join_config=replace(base.join_config, allocator_block_bytes=block))
+        if tune_sharing:
+            shared = self.choose_hash_table_sharing(pilot_build, pilot_probe, base)
+            base = replace(base, shared_hash_table=shared)
+
+        candidates: list[PlanCandidate] = []
+        for algorithm in algorithms:
+            for scheme in schemes:
+                config = replace(base, algorithm=algorithm, scheme=scheme)
+                candidates.append(self._evaluate(config, pilot_build, pilot_probe))
+
+        chosen = min(candidates, key=lambda c: c.measured_s)
+        return JoinPlan(chosen=chosen, candidates=candidates)
+
+    def plan_and_run(self, build: Relation, probe: Relation, **plan_kwargs) -> JoinTiming:
+        """Plan on the pilot, then execute the chosen configuration in full."""
+        plan = self.plan(build, probe, **plan_kwargs)
+        return HashJoinVariant(plan.config).execute(build, probe, machine=self.machine)

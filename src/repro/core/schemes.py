@@ -1,0 +1,138 @@
+"""Co-processing schemes: off-loading, data dividing and pipelined execution.
+
+Section 3.2 of the paper revisits three mechanisms for splitting a step
+series between the CPU and the GPU:
+
+* **OL (off-loading)** — every step runs entirely on one device;
+* **DD (data dividing)** — one workload ratio shared by every step of a
+  series (parallel-database style horizontal partitioning);
+* **PL (pipelined execution)** — an independent ratio per step, chosen by the
+  cost model, with pipelined-delay accounting between steps.
+
+``CPU-only`` and ``GPU-only`` are the degenerate single-device baselines.
+Each scheme object turns a calibrated step series into a ratio vector; the
+actual time measurement is done by
+:class:`~repro.core.executor.CoProcessingExecutor`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Sequence
+
+from ..costmodel.abstract import StepCost
+from ..costmodel.optimizer import (
+    DEFAULT_DELTA,
+    OptimizationResult,
+    optimize_dd,
+    optimize_ol,
+    optimize_pl,
+)
+
+
+class Scheme(str, Enum):
+    """The co-processing schemes evaluated in the paper."""
+
+    CPU_ONLY = "CPU-only"
+    GPU_ONLY = "GPU-only"
+    OFFLOADING = "OL"
+    DATA_DIVIDING = "DD"
+    PIPELINED = "PL"
+
+    @classmethod
+    def parse(cls, value: "Scheme | str") -> "Scheme":
+        if isinstance(value, cls):
+            return value
+        normalized = str(value).strip().upper().replace("_", "-")
+        aliases = {
+            "CPU": cls.CPU_ONLY,
+            "CPU-ONLY": cls.CPU_ONLY,
+            "GPU": cls.GPU_ONLY,
+            "GPU-ONLY": cls.GPU_ONLY,
+            "OL": cls.OFFLOADING,
+            "OFFLOADING": cls.OFFLOADING,
+            "DD": cls.DATA_DIVIDING,
+            "DATA-DIVIDING": cls.DATA_DIVIDING,
+            "PL": cls.PIPELINED,
+            "PIPELINED": cls.PIPELINED,
+        }
+        if normalized not in aliases:
+            raise ValueError(f"unknown co-processing scheme {value!r}")
+        return aliases[normalized]
+
+    @property
+    def is_single_device(self) -> bool:
+        return self in (Scheme.CPU_ONLY, Scheme.GPU_ONLY)
+
+    @property
+    def uses_pipelined_delays(self) -> bool:
+        return self is Scheme.PIPELINED
+
+
+@dataclass(frozen=True)
+class RatioPlan:
+    """Chosen per-step CPU ratios for one phase, plus the model's estimate."""
+
+    phase: str
+    scheme: Scheme
+    ratios: tuple[float, ...]
+    estimated_s: float
+    evaluations: int = 0
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "phase": self.phase,
+            "scheme": self.scheme.value,
+            "ratios": list(self.ratios),
+            "estimated_s": self.estimated_s,
+        }
+
+
+def plan_ratios(
+    scheme: Scheme | str,
+    phase: str,
+    steps: Sequence[StepCost],
+    delta: float = DEFAULT_DELTA,
+) -> RatioPlan:
+    """Choose the ratio vector of one phase for one scheme via the cost model."""
+    scheme = Scheme.parse(scheme)
+    n = len(steps)
+    if n == 0:
+        raise ValueError("cannot plan ratios for an empty step series")
+
+    if scheme is Scheme.CPU_ONLY:
+        result = _fixed_result(steps, 1.0)
+    elif scheme is Scheme.GPU_ONLY:
+        result = _fixed_result(steps, 0.0)
+    elif scheme is Scheme.OFFLOADING:
+        result = optimize_ol(steps)
+    elif scheme is Scheme.DATA_DIVIDING:
+        result = optimize_dd(steps, delta)
+    elif scheme is Scheme.PIPELINED:
+        result = optimize_pl(steps, delta)
+    else:  # pragma: no cover - exhaustive enum
+        raise ValueError(f"unhandled scheme {scheme}")
+
+    return RatioPlan(
+        phase=phase,
+        scheme=scheme,
+        ratios=tuple(result.ratios),
+        estimated_s=result.total_s,
+        evaluations=result.evaluations,
+    )
+
+
+def _fixed_result(steps: Sequence[StepCost], ratio: float) -> OptimizationResult:
+    from ..costmodel.abstract import estimate_series
+
+    ratios = [ratio] * len(steps)
+    return OptimizationResult(ratios=ratios, estimate=estimate_series(steps, ratios))
+
+
+#: Variant labels used throughout the evaluation section, e.g. ``"SHJ-PL"``.
+def variant_name(algorithm: str, scheme: Scheme | str) -> str:
+    scheme = Scheme.parse(scheme)
+    if scheme.is_single_device:
+        return scheme.value
+    return f"{algorithm.upper()}-{scheme.value}"

@@ -1,0 +1,57 @@
+"""Cost model for co-processed hash joins (paper Section 4)."""
+
+from .abstract import (
+    CostModelError,
+    SeriesEstimate,
+    StepCost,
+    estimate_phases,
+    estimate_series,
+    intermediate_result_bytes,
+    pipeline_delays,
+    total_elapsed,
+)
+from .calibration import CalibrationTable, StepCalibration, calibrate_step
+from .montecarlo import (
+    MonteCarloSample,
+    MonteCarloStudy,
+    run_monte_carlo,
+    sample_ratio_vectors,
+)
+from .optimizer import (
+    DEFAULT_DELTA,
+    OptimizationResult,
+    OptimizerError,
+    dd_sweep,
+    optimize_dd,
+    optimize_ol,
+    optimize_pl,
+    optimize_scheme,
+    ratio_grid,
+)
+
+__all__ = [
+    "CalibrationTable",
+    "CostModelError",
+    "DEFAULT_DELTA",
+    "MonteCarloSample",
+    "MonteCarloStudy",
+    "OptimizationResult",
+    "OptimizerError",
+    "SeriesEstimate",
+    "StepCalibration",
+    "StepCost",
+    "calibrate_step",
+    "dd_sweep",
+    "estimate_phases",
+    "estimate_series",
+    "intermediate_result_bytes",
+    "optimize_dd",
+    "optimize_ol",
+    "optimize_pl",
+    "optimize_scheme",
+    "pipeline_delays",
+    "ratio_grid",
+    "run_monte_carlo",
+    "sample_ratio_vectors",
+    "total_elapsed",
+]

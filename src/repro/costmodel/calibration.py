@@ -1,0 +1,131 @@
+"""Cost-model calibration (paper Section 4.2).
+
+The paper instantiates its abstract model by (a) profiling the number of
+instructions per tuple of every step with AMD CodeXL / APP Profiler and (b)
+calibrating the memory unit cost per tuple with the method of [15, 26].  In
+this reproduction the role of the profiler is played by the executed step
+series themselves: each :class:`~repro.hashjoin.steps.StepExecution` carries
+per-tuple work quantities, from which we derive an average
+:class:`~repro.hardware.workstats.WorkProfile` and then the per-device unit
+cost (computation + memory) under the machine's cache model.
+
+The resulting :class:`CalibrationTable` also regenerates Figure 4 (average
+processing time per tuple for each step on the CPU and the GPU).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..hardware.machine import CPU, GPU, Machine
+from ..hardware.workstats import WorkProfile
+from ..hashjoin.steps import StepExecution, StepSeries
+from .abstract import StepCost
+
+
+@dataclass(frozen=True)
+class StepCalibration:
+    """Calibrated per-tuple costs of one step."""
+
+    name: str
+    phase: str
+    n_tuples: int
+    profile: WorkProfile
+    miss_ratio: float
+    cpu_unit_s: float
+    gpu_unit_s: float
+    intermediate_bytes_per_tuple: float
+
+    @property
+    def cpu_unit_ns(self) -> float:
+        return self.cpu_unit_s * 1e9
+
+    @property
+    def gpu_unit_ns(self) -> float:
+        return self.gpu_unit_s * 1e9
+
+    @property
+    def gpu_speedup(self) -> float:
+        """How many times faster the GPU processes one tuple of this step."""
+        if self.gpu_unit_s <= 0:
+            return float("inf")
+        return self.cpu_unit_s / self.gpu_unit_s
+
+    def to_step_cost(self) -> StepCost:
+        return StepCost(
+            name=self.name,
+            n_tuples=self.n_tuples,
+            cpu_unit_s=self.cpu_unit_s,
+            gpu_unit_s=self.gpu_unit_s,
+            intermediate_bytes_per_tuple=self.intermediate_bytes_per_tuple,
+        )
+
+
+def calibrate_step(execution: StepExecution, machine: Machine) -> StepCalibration:
+    """Profile one executed step and derive its per-device unit costs."""
+    profile = execution.work.average_profile()
+    env = machine.memory_environment(execution.working_set)
+    cpu_unit = machine.cpu.estimated_time(profile, 1, env)
+    gpu_unit = machine.gpu.estimated_time(profile, 1, env)
+    return StepCalibration(
+        name=execution.step.name,
+        phase=execution.step.phase,
+        n_tuples=execution.n_tuples,
+        profile=profile,
+        miss_ratio=env.miss_ratio,
+        cpu_unit_s=cpu_unit,
+        gpu_unit_s=gpu_unit,
+        intermediate_bytes_per_tuple=execution.intermediate_bytes_per_tuple,
+    )
+
+
+@dataclass
+class CalibrationTable:
+    """Calibrated costs of every step of one or more step series."""
+
+    steps: list[StepCalibration] = field(default_factory=list)
+
+    @classmethod
+    def from_series(cls, series_list: list[StepSeries], machine: Machine) -> "CalibrationTable":
+        table = cls()
+        for series in series_list:
+            for execution in series:
+                table.steps.append(calibrate_step(execution, machine))
+        return table
+
+    # ------------------------------------------------------------------
+    def for_phase(self, phase: str) -> list[StepCalibration]:
+        return [s for s in self.steps if s.phase == phase]
+
+    def by_name(self, name: str) -> StepCalibration:
+        for step in self.steps:
+            if step.name == name:
+                return step
+        raise KeyError(f"no calibrated step named {name!r}")
+
+    def step_costs(self, phase: str | None = None) -> list[StepCost]:
+        chosen = self.steps if phase is None else self.for_phase(phase)
+        return [s.to_step_cost() for s in chosen]
+
+    # ------------------------------------------------------------------
+    def unit_cost_rows(self) -> list[dict[str, float | str]]:
+        """Figure 4 rows: per-step ns/tuple on the CPU and the GPU."""
+        return [
+            {
+                "step": s.name,
+                "phase": s.phase,
+                "cpu_ns_per_tuple": round(s.cpu_unit_ns, 3),
+                "gpu_ns_per_tuple": round(s.gpu_unit_ns, 3),
+                "gpu_speedup": round(s.gpu_speedup, 2),
+            }
+            for s in self.steps
+        ]
+
+    def device_preference(self) -> dict[str, str]:
+        """Which device each step prefers (the OL decision on the coupled machine)."""
+        return {
+            s.name: (GPU if s.gpu_unit_s <= s.cpu_unit_s else CPU) for s in self.steps
+        }
+
+    def __len__(self) -> int:
+        return len(self.steps)

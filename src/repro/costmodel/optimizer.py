@@ -1,0 +1,221 @@
+"""Workload-ratio optimisation driven by the cost model (Sections 3.2 and 4).
+
+The paper picks the suitable workload ratios by evaluating the cost model on a
+grid of candidate ratios with step ``delta = 0.02``.  For DD (one ratio per
+step series) and OL (each ratio 0 or 1) the search space is tiny; for PL the
+per-step ratios are optimised with an exhaustive grid for short series and
+with coordinate descent (initialised from the DD optimum and the per-step OL
+preferences) for longer ones, which converges to the same solutions on the
+series sizes used in the paper while keeping optimisation time bounded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Sequence
+
+import numpy as np
+
+from .abstract import SeriesEstimate, StepCost, estimate_series
+
+#: Ratio granularity used by the paper.
+DEFAULT_DELTA = 0.02
+
+
+class OptimizerError(ValueError):
+    """Raised for invalid optimiser configurations."""
+
+
+def ratio_grid(delta: float = DEFAULT_DELTA) -> np.ndarray:
+    """All candidate ratios 0, delta, 2*delta, ..., 1."""
+    if not 0.0 < delta <= 1.0:
+        raise OptimizerError("delta must be in (0, 1]")
+    n = int(round(1.0 / delta))
+    return np.round(np.linspace(0.0, 1.0, n + 1), 10)
+
+
+@dataclass
+class OptimizationResult:
+    """Chosen ratios plus the cost model's estimate for them."""
+
+    ratios: list[float]
+    estimate: SeriesEstimate
+    evaluations: int = 0
+    scheme: str = "PL"
+
+    @property
+    def total_s(self) -> float:
+        return self.estimate.total_s
+
+
+# ---------------------------------------------------------------------------
+# DD: one ratio shared by every step of the series
+# ---------------------------------------------------------------------------
+def optimize_dd(
+    steps: Sequence[StepCost],
+    delta: float = DEFAULT_DELTA,
+) -> OptimizationResult:
+    """Best single workload ratio for the whole step series."""
+    best: OptimizationResult | None = None
+    evaluations = 0
+    for ratio in ratio_grid(delta):
+        ratios = [float(ratio)] * len(steps)
+        estimate = estimate_series(steps, ratios)
+        evaluations += 1
+        if best is None or estimate.total_s < best.total_s:
+            best = OptimizationResult(ratios=ratios, estimate=estimate, scheme="DD")
+    assert best is not None
+    best.evaluations = evaluations
+    return best
+
+
+def dd_sweep(
+    steps: Sequence[StepCost],
+    delta: float = DEFAULT_DELTA,
+) -> list[tuple[float, float]]:
+    """(ratio, estimated seconds) pairs for the DD ratio sweep (Figure 7)."""
+    return [
+        (float(r), estimate_series(steps, [float(r)] * len(steps)).total_s)
+        for r in ratio_grid(delta)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# OL: every step runs entirely on one device
+# ---------------------------------------------------------------------------
+def optimize_ol(steps: Sequence[StepCost]) -> OptimizationResult:
+    """Best 0/1 assignment per step.
+
+    On the coupled architecture the offloading decision per step depends only
+    on which device runs the step faster (no PCI-e term), so the optimum is
+    found per step; the full 2^n enumeration is used for short series to keep
+    the implementation obviously faithful to the paper's description.
+    """
+    n = len(steps)
+    if n <= 12:
+        best: OptimizationResult | None = None
+        evaluations = 0
+        for assignment in product((0.0, 1.0), repeat=n):
+            estimate = estimate_series(steps, list(assignment))
+            evaluations += 1
+            if best is None or estimate.total_s < best.total_s:
+                best = OptimizationResult(
+                    ratios=list(assignment), estimate=estimate, scheme="OL"
+                )
+        assert best is not None
+        best.evaluations = evaluations
+        return best
+
+    ratios = [0.0 if s.gpu_unit_s <= s.cpu_unit_s else 1.0 for s in steps]
+    return OptimizationResult(
+        ratios=ratios, estimate=estimate_series(steps, ratios), evaluations=n, scheme="OL"
+    )
+
+
+# ---------------------------------------------------------------------------
+# PL: an independent ratio per step
+# ---------------------------------------------------------------------------
+def optimize_pl(
+    steps: Sequence[StepCost],
+    delta: float = DEFAULT_DELTA,
+    max_rounds: int = 6,
+    exhaustive_limit: int = 3,
+    exhaustive_delta: float = 0.1,
+) -> OptimizationResult:
+    """Per-step ratios minimising the estimated series time.
+
+    Short series (``len(steps) <= exhaustive_limit``) are solved with an
+    exhaustive coarse grid followed by a fine refinement; longer series use
+    coordinate descent over the delta grid from several starting points.
+    """
+    n = len(steps)
+    if n == 0:
+        raise OptimizerError("cannot optimise an empty step series")
+
+    evaluations = 0
+    grid = ratio_grid(delta)
+
+    def evaluate(ratios: list[float]) -> SeriesEstimate:
+        nonlocal evaluations
+        evaluations += 1
+        return estimate_series(steps, ratios)
+
+    candidates: list[list[float]] = []
+    # Start 1: the DD optimum.
+    dd = optimize_dd(steps, delta)
+    evaluations += dd.evaluations
+    candidates.append(list(dd.ratios))
+    # Start 2: per-step device preference (OL-like).
+    candidates.append([0.0 if s.gpu_unit_s <= s.cpu_unit_s else 1.0 for s in steps])
+    # Start 3: per-step balanced ratio r = gpu/(cpu+gpu) (equal finish times).
+    balanced = []
+    for s in steps:
+        denom = s.cpu_unit_s + s.gpu_unit_s
+        balanced.append(float(s.gpu_unit_s / denom) if denom > 0 else 0.5)
+    candidates.append(balanced)
+
+    if n <= exhaustive_limit:
+        coarse = ratio_grid(exhaustive_delta)
+        best_coarse = None
+        for assignment in product(coarse, repeat=n):
+            ratios = [float(r) for r in assignment]
+            estimate = evaluate(ratios)
+            if best_coarse is None or estimate.total_s < best_coarse.total_s:
+                best_coarse = OptimizationResult(ratios=ratios, estimate=estimate)
+        assert best_coarse is not None
+        candidates.append(list(best_coarse.ratios))
+
+    best: OptimizationResult | None = None
+    for start in candidates:
+        ratios = [float(np.clip(r, 0.0, 1.0)) for r in start]
+        current = evaluate(ratios)
+        improved = True
+        rounds = 0
+        while improved and rounds < max_rounds:
+            improved = False
+            rounds += 1
+            for i in range(n):
+                best_ratio = ratios[i]
+                best_time = current.total_s
+                for candidate in grid:
+                    if candidate == ratios[i]:
+                        continue
+                    trial = list(ratios)
+                    trial[i] = float(candidate)
+                    estimate = evaluate(trial)
+                    if estimate.total_s < best_time - 1e-15:
+                        best_time = estimate.total_s
+                        best_ratio = float(candidate)
+                if best_ratio != ratios[i]:
+                    ratios[i] = best_ratio
+                    current = evaluate(ratios)
+                    improved = True
+        if best is None or current.total_s < best.total_s:
+            best = OptimizationResult(ratios=list(ratios), estimate=current, scheme="PL")
+
+    assert best is not None
+    best.evaluations = evaluations
+    return best
+
+
+def optimize_scheme(
+    scheme: str,
+    steps: Sequence[StepCost],
+    delta: float = DEFAULT_DELTA,
+) -> OptimizationResult:
+    """Dispatch to the optimiser of a named co-processing scheme."""
+    scheme = scheme.upper()
+    if scheme == "DD":
+        return optimize_dd(steps, delta)
+    if scheme == "OL":
+        return optimize_ol(steps)
+    if scheme == "PL":
+        return optimize_pl(steps, delta)
+    if scheme in ("CPU", "CPU-ONLY"):
+        ratios = [1.0] * len(steps)
+        return OptimizationResult(ratios, estimate_series(steps, ratios), scheme="CPU")
+    if scheme in ("GPU", "GPU-ONLY"):
+        ratios = [0.0] * len(steps)
+        return OptimizationResult(ratios, estimate_series(steps, ratios), scheme="GPU")
+    raise OptimizerError(f"unknown co-processing scheme {scheme!r}")

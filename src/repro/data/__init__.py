@@ -1,0 +1,37 @@
+"""Synthetic data sets and workload descriptions (paper Section 5.1)."""
+
+from .generator import (
+    PAPER_DEFAULT_TUPLES,
+    SKEW_PRESETS,
+    DatasetSpec,
+    GeneratorError,
+    expected_match_count,
+    generate_build_relation,
+    generate_probe_relation,
+)
+from .relation import TUPLE_BYTES, Relation, RelationError
+from .workload import (
+    PAPER_BUILD_SIZE_SWEEP,
+    PAPER_SELECTIVITIES,
+    JoinWorkload,
+    build_size_sweep,
+    selectivity_sweep,
+)
+
+__all__ = [
+    "DatasetSpec",
+    "GeneratorError",
+    "JoinWorkload",
+    "PAPER_BUILD_SIZE_SWEEP",
+    "PAPER_DEFAULT_TUPLES",
+    "PAPER_SELECTIVITIES",
+    "Relation",
+    "RelationError",
+    "SKEW_PRESETS",
+    "TUPLE_BYTES",
+    "build_size_sweep",
+    "expected_match_count",
+    "generate_build_relation",
+    "generate_probe_relation",
+    "selectivity_sweep",
+]

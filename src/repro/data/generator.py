@@ -1,0 +1,226 @@
+"""Synthetic data-set generators following Section 5.1 of the paper.
+
+The paper evaluates on relations of <key, rid> tuples:
+
+* a default of 16M tuples per relation with uniformly distributed keys,
+* two skewed data sets where ``s%`` of the tuples carry one duplicated key
+  value (``low-skew``: s = 10, ``high-skew``: s = 25),
+* probe relations whose join selectivity (fraction of probe tuples that find a
+  match) is varied between 12.5% and 100%.
+
+All generators are deterministic given a seed so experiments are repeatable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .relation import Relation
+
+#: Named skew presets from the paper (fraction of tuples with the hot key).
+SKEW_PRESETS: dict[str, float] = {
+    "uniform": 0.0,
+    "low-skew": 0.10,
+    "high-skew": 0.25,
+}
+
+#: Default relation cardinality in the paper (16M tuples).
+PAPER_DEFAULT_TUPLES = 16_000_000
+
+
+class GeneratorError(ValueError):
+    """Raised for inconsistent generator parameters."""
+
+
+def _rng(seed: int | None) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+#: Multiplicity of each duplicated ("hot") key in the skewed data sets.  The
+#: paper duplicates s% of the tuples' key values; bounding the multiplicity
+#: per hot key keeps the join output linear in the input (FK-join style) while
+#: still producing skewed chains, divergent wavefront work and latch hot spots.
+HOT_KEY_DUPLICATES = 16
+
+
+def generate_build_relation(
+    n_tuples: int,
+    skew: float = 0.0,
+    seed: int | None = 42,
+    key_space: int | None = None,
+    name: str = "R",
+    hot_key_duplicates: int = HOT_KEY_DUPLICATES,
+) -> Relation:
+    """Generate the build relation ``R``.
+
+    Parameters
+    ----------
+    n_tuples:
+        Relation cardinality.
+    skew:
+        Fraction ``s`` of tuples carrying duplicated ("hot") key values, as in
+        the paper's ``low-skew`` (0.10) and ``high-skew`` (0.25) data sets.
+        ``0.0`` produces unique keys.
+    seed:
+        Seed for the pseudo random permutation of key positions.
+    key_space:
+        Upper bound (exclusive) of the key domain.  Defaults to a domain large
+        enough to hold ``n_tuples`` distinct keys.
+    name:
+        Relation name.
+    hot_key_duplicates:
+        Number of tuples sharing each duplicated key value.
+    """
+    if n_tuples < 0:
+        raise GeneratorError("n_tuples must be non-negative")
+    if not 0.0 <= skew <= 1.0:
+        raise GeneratorError(f"skew must be in [0, 1], got {skew}")
+    if hot_key_duplicates <= 1:
+        raise GeneratorError("hot_key_duplicates must be at least 2")
+
+    rng = _rng(seed)
+    if key_space is None:
+        key_space = max(2 * n_tuples, 16)
+
+    n_hot = int(round(n_tuples * skew))
+    n_regular = n_tuples - n_hot
+    n_hot_keys = int(np.ceil(n_hot / hot_key_duplicates)) if n_hot else 0
+
+    distinct_needed = n_regular + n_hot_keys
+    distinct = (
+        np.asarray(rng.choice(key_space, size=distinct_needed, replace=False), dtype=np.int64)
+        if distinct_needed
+        else np.empty(0, dtype=np.int64)
+    )
+    regular_keys = distinct[:n_regular]
+    if n_hot:
+        hot_values = distinct[n_regular:]
+        hot_keys = np.repeat(hot_values, hot_key_duplicates)[:n_hot]
+        keys = np.concatenate([regular_keys, hot_keys])
+    else:
+        keys = regular_keys
+
+    rng.shuffle(keys)
+    rids = np.arange(n_tuples, dtype=np.int64)
+    return Relation(keys=keys, rids=rids, name=name)
+
+
+def generate_probe_relation(
+    build: Relation,
+    n_tuples: int,
+    selectivity: float = 1.0,
+    skew: float = 0.0,
+    seed: int | None = 43,
+    name: str = "S",
+) -> Relation:
+    """Generate the probe relation ``S`` against an existing build relation.
+
+    ``selectivity`` is the fraction of probe tuples that find at least one
+    match in ``build`` (12.5%, 50% and 100% in Figure 15).  Matching tuples
+    draw their keys from ``build``; the remainder draw keys guaranteed to miss.
+    ``skew`` concentrates the *matching* probes onto a single hot build key.
+    """
+    if n_tuples < 0:
+        raise GeneratorError("n_tuples must be non-negative")
+    if not 0.0 <= selectivity <= 1.0:
+        raise GeneratorError(f"selectivity must be in [0, 1], got {selectivity}")
+    if not 0.0 <= skew <= 1.0:
+        raise GeneratorError(f"skew must be in [0, 1], got {skew}")
+    if build.is_empty() and selectivity > 0.0 and n_tuples > 0:
+        raise GeneratorError("cannot generate matching probes against an empty build relation")
+
+    rng = _rng(seed)
+    n_match = int(round(n_tuples * selectivity))
+    n_miss = n_tuples - n_match
+
+    parts: list[np.ndarray] = []
+    if n_match:
+        build_keys = build.keys
+        n_hot = int(round(n_match * skew))
+        n_uniform = n_match - n_hot
+        if n_uniform:
+            parts.append(rng.choice(build_keys, size=n_uniform, replace=True))
+        if n_hot:
+            hot_key = build_keys[rng.integers(0, build_keys.shape[0])]
+            parts.append(np.full(n_hot, hot_key, dtype=np.int64))
+    if n_miss:
+        # Keys strictly above the build key domain never match.
+        miss_base = int(build.keys.max()) + 1 if not build.is_empty() else 1
+        parts.append(miss_base + rng.integers(0, max(n_miss, 1), size=n_miss))
+
+    keys = np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+    keys = np.asarray(keys, dtype=np.int64)
+    rng.shuffle(keys)
+    rids = np.arange(n_tuples, dtype=np.int64)
+    return Relation(keys=keys, rids=rids, name=name)
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Parameters for one R ⋈ S experiment data set."""
+
+    build_tuples: int
+    probe_tuples: int
+    skew: float = 0.0
+    selectivity: float = 1.0
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if self.build_tuples < 0 or self.probe_tuples < 0:
+            raise GeneratorError("relation sizes must be non-negative")
+
+    @classmethod
+    def paper_default(cls, scale: float = 1.0) -> "DatasetSpec":
+        """The paper's default 16M ⋈ 16M uniform data set, optionally scaled."""
+        n = max(int(PAPER_DEFAULT_TUPLES * scale), 1)
+        return cls(build_tuples=n, probe_tuples=n)
+
+    @classmethod
+    def named_skew(
+        cls, preset: str, build_tuples: int, probe_tuples: int, seed: int = 42
+    ) -> "DatasetSpec":
+        """Build a spec from the paper's skew preset names."""
+        if preset not in SKEW_PRESETS:
+            raise GeneratorError(
+                f"unknown skew preset {preset!r}; expected one of {sorted(SKEW_PRESETS)}"
+            )
+        return cls(
+            build_tuples=build_tuples,
+            probe_tuples=probe_tuples,
+            skew=SKEW_PRESETS[preset],
+            seed=seed,
+        )
+
+    def generate(self) -> tuple[Relation, Relation]:
+        """Materialise the (R, S) relation pair for this spec."""
+        build = generate_build_relation(
+            self.build_tuples, skew=self.skew, seed=self.seed, name="R"
+        )
+        probe = generate_probe_relation(
+            build,
+            self.probe_tuples,
+            selectivity=self.selectivity,
+            skew=self.skew,
+            seed=self.seed + 1,
+            name="S",
+        )
+        return build, probe
+
+
+def expected_match_count(build: Relation, probe: Relation) -> int:
+    """Exact number of join result tuples for R ⋈ S on equality of keys.
+
+    Computed independently from the join operators so tests can cross-check
+    operator output against ground truth.
+    """
+    if build.is_empty() or probe.is_empty():
+        return 0
+    build_keys, build_counts = np.unique(build.keys, return_counts=True)
+    probe_keys, probe_counts = np.unique(probe.keys, return_counts=True)
+    common, build_idx, probe_idx = np.intersect1d(
+        build_keys, probe_keys, assume_unique=True, return_indices=True
+    )
+    del common
+    return int(np.sum(build_counts[build_idx] * probe_counts[probe_idx]))

@@ -1,0 +1,162 @@
+"""Column-oriented relation container used by every join operator.
+
+The paper (Section 5.1) uses relations of two four-byte integer attributes,
+``rid`` (record id) and ``key``.  They are either base relations of a
+column-oriented database or the <key, rid> extraction from wider rows.  We
+keep exactly that layout: two parallel ``numpy`` arrays of ``int32``/``int64``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Number of bytes per tuple (4-byte key + 4-byte record id), as in the paper.
+TUPLE_BYTES = 8
+
+
+class RelationError(ValueError):
+    """Raised when a relation is constructed from inconsistent columns."""
+
+
+@dataclass(frozen=True)
+class Relation:
+    """An in-memory relation of ``<key, rid>`` tuples.
+
+    Attributes
+    ----------
+    keys:
+        Join key of every tuple.  Stored as ``int64`` internally so hash
+        arithmetic cannot overflow, but generators only produce values that
+        fit in an unsigned 32-bit integer to match the paper's 4-byte keys.
+    rids:
+        Record identifier of every tuple.
+    name:
+        Optional human readable name (``"R"`` / ``"S"`` in the paper).
+    """
+
+    keys: np.ndarray
+    rids: np.ndarray
+    name: str = field(default="relation")
+
+    def __post_init__(self) -> None:
+        keys = np.asarray(self.keys, dtype=np.int64)
+        rids = np.asarray(self.rids, dtype=np.int64)
+        if keys.ndim != 1 or rids.ndim != 1:
+            raise RelationError("keys and rids must be one-dimensional arrays")
+        if keys.shape[0] != rids.shape[0]:
+            raise RelationError(
+                f"keys ({keys.shape[0]}) and rids ({rids.shape[0]}) "
+                "must have the same length"
+            )
+        object.__setattr__(self, "keys", keys)
+        object.__setattr__(self, "rids", rids)
+
+    # ------------------------------------------------------------------
+    # Basic container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return int(self.keys.shape[0])
+
+    @property
+    def cardinality(self) -> int:
+        """Number of tuples in the relation."""
+        return len(self)
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the relation in bytes using the paper's 8-byte tuples."""
+        return len(self) * TUPLE_BYTES
+
+    def is_empty(self) -> bool:
+        return len(self) == 0
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_keys(cls, keys: np.ndarray, name: str = "relation") -> "Relation":
+        """Build a relation whose rids are the positional indices 0..n-1."""
+        keys = np.asarray(keys, dtype=np.int64)
+        return cls(keys=keys, rids=np.arange(keys.shape[0], dtype=np.int64), name=name)
+
+    @classmethod
+    def empty(cls, name: str = "relation") -> "Relation":
+        return cls(
+            keys=np.empty(0, dtype=np.int64),
+            rids=np.empty(0, dtype=np.int64),
+            name=name,
+        )
+
+    @classmethod
+    def concat(cls, relations: list["Relation"], name: str = "relation") -> "Relation":
+        """Concatenate several relations preserving tuple order."""
+        if not relations:
+            return cls.empty(name=name)
+        keys = np.concatenate([r.keys for r in relations])
+        rids = np.concatenate([r.rids for r in relations])
+        return cls(keys=keys, rids=rids, name=name)
+
+    # ------------------------------------------------------------------
+    # Slicing
+    # ------------------------------------------------------------------
+    def take(self, indices: np.ndarray, name: str | None = None) -> "Relation":
+        """Return a new relation containing the tuples at ``indices``."""
+        indices = np.asarray(indices)
+        return Relation(
+            keys=self.keys[indices],
+            rids=self.rids[indices],
+            name=name if name is not None else self.name,
+        )
+
+    def slice(self, start: int, stop: int, name: str | None = None) -> "Relation":
+        """Return the contiguous tuple range ``[start, stop)``."""
+        return Relation(
+            keys=self.keys[start:stop],
+            rids=self.rids[start:stop],
+            name=name if name is not None else self.name,
+        )
+
+    def split_by_ratio(self, ratio: float) -> tuple["Relation", "Relation"]:
+        """Split the relation into a leading ``ratio`` fraction and the rest.
+
+        Used by the data-dividing (DD) co-processing scheme: the first part is
+        assigned to the CPU and the remainder to the GPU.
+        """
+        if not 0.0 <= ratio <= 1.0:
+            raise ValueError(f"ratio must be within [0, 1], got {ratio}")
+        cut = int(round(len(self) * ratio))
+        return self.slice(0, cut), self.slice(cut, len(self))
+
+    def split_chunks(self, chunk_size: int) -> list["Relation"]:
+        """Split into fixed-size chunks (used by the BasicUnit scheduler)."""
+        if chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
+        return [
+            self.slice(start, min(start + chunk_size, len(self)))
+            for start in range(0, len(self), chunk_size)
+        ]
+
+    # ------------------------------------------------------------------
+    # Statistics helpers used by cost-model instantiation
+    # ------------------------------------------------------------------
+    def distinct_key_count(self) -> int:
+        if self.is_empty():
+            return 0
+        return int(np.unique(self.keys).shape[0])
+
+    def average_duplicates_per_key(self) -> float:
+        """Average number of tuples sharing one key value (>= 1.0)."""
+        distinct = self.distinct_key_count()
+        if distinct == 0:
+            return 0.0
+        return len(self) / distinct
+
+    def key_histogram(self) -> dict[int, int]:
+        """Exact key -> multiplicity histogram (small relations only)."""
+        values, counts = np.unique(self.keys, return_counts=True)
+        return {int(k): int(c) for k, c in zip(values, counts)}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Relation(name={self.name!r}, tuples={len(self)})"

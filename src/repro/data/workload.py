@@ -1,0 +1,142 @@
+"""Workload descriptions for the paper's experiments.
+
+A :class:`JoinWorkload` bundles the generated relations together with the
+parameters that produced them, and provides the named workloads used across
+the evaluation section (default uniform, low-skew, high-skew, selectivity
+sweeps, build-size sweeps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .generator import SKEW_PRESETS, DatasetSpec, expected_match_count
+from .relation import Relation
+
+#: Build-table sizes swept in Figures 13 and 14 (64K ... 16M tuples).
+PAPER_BUILD_SIZE_SWEEP: tuple[int, ...] = (
+    64_000,
+    128_000,
+    256_000,
+    512_000,
+    1_000_000,
+    2_000_000,
+    4_000_000,
+    6_000_000,
+    8_000_000,
+    10_000_000,
+    12_000_000,
+    14_000_000,
+    16_000_000,
+)
+
+#: Join selectivities evaluated in Figure 15.
+PAPER_SELECTIVITIES: tuple[float, ...] = (0.125, 0.5, 1.0)
+
+
+@dataclass
+class JoinWorkload:
+    """A fully materialised R ⋈ S workload."""
+
+    build: Relation
+    probe: Relation
+    spec: DatasetSpec
+    label: str = field(default="workload")
+
+    @classmethod
+    def from_spec(cls, spec: DatasetSpec, label: str = "workload") -> "JoinWorkload":
+        build, probe = spec.generate()
+        return cls(build=build, probe=probe, spec=spec, label=label)
+
+    @classmethod
+    def uniform(
+        cls, build_tuples: int, probe_tuples: int, seed: int = 42
+    ) -> "JoinWorkload":
+        spec = DatasetSpec(build_tuples=build_tuples, probe_tuples=probe_tuples, seed=seed)
+        return cls.from_spec(spec, label="uniform")
+
+    @classmethod
+    def skewed(
+        cls,
+        preset: str,
+        build_tuples: int,
+        probe_tuples: int,
+        seed: int = 42,
+    ) -> "JoinWorkload":
+        spec = DatasetSpec.named_skew(preset, build_tuples, probe_tuples, seed=seed)
+        return cls.from_spec(spec, label=preset)
+
+    @classmethod
+    def with_selectivity(
+        cls,
+        selectivity: float,
+        build_tuples: int,
+        probe_tuples: int,
+        seed: int = 42,
+    ) -> "JoinWorkload":
+        spec = DatasetSpec(
+            build_tuples=build_tuples,
+            probe_tuples=probe_tuples,
+            selectivity=selectivity,
+            seed=seed,
+        )
+        return cls.from_spec(spec, label=f"selectivity-{selectivity:g}")
+
+    # ------------------------------------------------------------------
+    @property
+    def build_tuples(self) -> int:
+        return len(self.build)
+
+    @property
+    def probe_tuples(self) -> int:
+        return len(self.probe)
+
+    @property
+    def total_bytes(self) -> int:
+        return self.build.nbytes + self.probe.nbytes
+
+    def expected_matches(self) -> int:
+        """Ground-truth join cardinality (independent of the join operators)."""
+        return expected_match_count(self.build, self.probe)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"JoinWorkload(label={self.label!r}, |R|={self.build_tuples}, "
+            f"|S|={self.probe_tuples})"
+        )
+
+
+def build_size_sweep(
+    probe_tuples: int,
+    skew_preset: str = "uniform",
+    sizes: tuple[int, ...] = PAPER_BUILD_SIZE_SWEEP,
+    seed: int = 42,
+) -> list[JoinWorkload]:
+    """Workloads for Figures 13/14: fixed probe size, varying build size."""
+    if skew_preset not in SKEW_PRESETS:
+        raise ValueError(f"unknown skew preset {skew_preset!r}")
+    return [
+        JoinWorkload.from_spec(
+            DatasetSpec(
+                build_tuples=size,
+                probe_tuples=probe_tuples,
+                skew=SKEW_PRESETS[skew_preset],
+                seed=seed,
+            ),
+            label=f"{skew_preset}-|R|={size}",
+        )
+        for size in sizes
+    ]
+
+
+def selectivity_sweep(
+    build_tuples: int,
+    probe_tuples: int,
+    selectivities: tuple[float, ...] = PAPER_SELECTIVITIES,
+    seed: int = 42,
+) -> list[JoinWorkload]:
+    """Workloads for Figure 15: varying join selectivity."""
+    return [
+        JoinWorkload.with_selectivity(s, build_tuples, probe_tuples, seed=seed)
+        for s in selectivities
+    ]

@@ -1,0 +1,65 @@
+"""Figure 4: per-step unit costs (ns/tuple) on the CPU and the GPU for PHJ.
+
+The paper measures each step of PHJ with the CPU-only and the GPU-only
+algorithm and reports the average processing time per tuple.  The key shape:
+hash-computation steps (n1, b1, p1) are accelerated by more than 15x on the
+GPU, while the pointer-chasing / divergent steps (b3, p3) perform about the
+same on both devices.
+"""
+
+from __future__ import annotations
+
+from ..costmodel.calibration import CalibrationTable
+from ..data.workload import JoinWorkload
+from ..hardware.machine import Machine, coupled_machine
+from ..hashjoin.partition import PartitionedHashJoin
+from ..hashjoin.simple import HashJoinConfig
+from .common import DEFAULT_TUPLES, ExperimentResult
+
+
+def calibrate_phj_steps(
+    build_tuples: int = DEFAULT_TUPLES,
+    probe_tuples: int | None = None,
+    machine: Machine | None = None,
+    seed: int = 42,
+) -> CalibrationTable:
+    """Execute PHJ once and calibrate every step's per-tuple cost."""
+    probe_tuples = probe_tuples if probe_tuples is not None else build_tuples
+    machine = machine or coupled_machine()
+    workload = JoinWorkload.uniform(build_tuples, probe_tuples, seed=seed)
+    run = PartitionedHashJoin(config=HashJoinConfig()).run(workload.build, workload.probe)
+    series = [*run.partition_phase.series_per_pass, run.build_series, run.probe_series]
+    return CalibrationTable.from_series(series, machine)
+
+
+def run_fig04(
+    build_tuples: int = DEFAULT_TUPLES,
+    probe_tuples: int | None = None,
+    machine: Machine | None = None,
+    seed: int = 42,
+) -> ExperimentResult:
+    """Regenerate the Figure 4 unit-cost table."""
+    table = calibrate_phj_steps(build_tuples, probe_tuples, machine=machine, seed=seed)
+    result = ExperimentResult(
+        experiment="Figure 4",
+        description="Unit costs per step on the CPU and the GPU (PHJ, ns/tuple)",
+        parameters={"build_tuples": build_tuples},
+    )
+    for row in table.unit_cost_rows():
+        result.add_row(**row)
+
+    hash_steps = [r for r in result.rows if r["step"] in ("n1", "b1", "p1")]
+    pointer_steps = [r for r in result.rows if r["step"] in ("b3", "p3")]
+    if hash_steps:
+        min_speedup = min(float(r["gpu_speedup"]) for r in hash_steps)
+        result.add_note(
+            f"Hash-computation steps (n1/b1/p1) GPU speedup >= {min_speedup:.1f}x "
+            "(paper: more than 15x)."
+        )
+    if pointer_steps:
+        ratios = [float(r["gpu_speedup"]) for r in pointer_steps]
+        result.add_note(
+            "Pointer-chasing steps (b3/p3) CPU and GPU are close: "
+            f"GPU/CPU speedups {', '.join(f'{r:.2f}x' for r in ratios)} (paper: very close)."
+        )
+    return result

@@ -1,0 +1,80 @@
+"""Figures 5 and 6: optimal per-step workload ratios for SHJ-PL and PHJ-PL.
+
+The cost model picks a different CPU ratio for every step: hash-computation
+steps go (almost) entirely to the GPU while several memory-bound steps get
+a large CPU share, which is exactly why fine-grained co-processing beats the
+phase-level DD split.  The grey areas of the paper's figures — the
+intermediate results implied by consecutive ratio differences — are reported
+as a byte volume per step transition.
+"""
+
+from __future__ import annotations
+
+from ..core.joins import run_join
+from ..data.workload import JoinWorkload
+from ..hardware.machine import Machine, coupled_machine
+from .common import DEFAULT_TUPLES, ExperimentResult
+
+
+def _ratio_rows(result: ExperimentResult, variant_timing, variant: str) -> None:
+    for plan, phase in zip(variant_timing.plans, variant_timing.phases):
+        previous = None
+        for step, ratio in zip(phase.steps, plan.ratios):
+            change = 0.0 if previous is None else abs(ratio - previous)
+            result.add_row(
+                variant=variant,
+                phase=plan.phase,
+                step=step.name,
+                cpu_ratio=round(ratio, 4),
+                gpu_ratio=round(1.0 - ratio, 4),
+                ratio_change_vs_prev=round(change, 4),
+                intermediate_bytes=step.exchanged_bytes,
+            )
+            previous = ratio
+
+
+def run_fig05(
+    build_tuples: int = DEFAULT_TUPLES,
+    probe_tuples: int | None = None,
+    machine: Machine | None = None,
+    seed: int = 42,
+) -> ExperimentResult:
+    """Optimal per-step ratios of SHJ-PL on the coupled architecture."""
+    probe_tuples = probe_tuples if probe_tuples is not None else build_tuples
+    machine = machine or coupled_machine()
+    workload = JoinWorkload.uniform(build_tuples, probe_tuples, seed=seed)
+    timing = run_join("SHJ", "PL", workload.build, workload.probe, machine=machine)
+    result = ExperimentResult(
+        experiment="Figure 5",
+        description="Optimal workload ratios of SHJ-PL steps (coupled architecture)",
+        parameters={"build_tuples": build_tuples},
+    )
+    _ratio_rows(result, timing, "SHJ-PL")
+    result.add_note(
+        "Paper: ratios vary widely across steps; the GPU takes all of b1/p1 while "
+        "several later steps get a large CPU share."
+    )
+    return result
+
+
+def run_fig06(
+    build_tuples: int = DEFAULT_TUPLES,
+    probe_tuples: int | None = None,
+    machine: Machine | None = None,
+    seed: int = 42,
+) -> ExperimentResult:
+    """Optimal per-step ratios of PHJ-PL on the coupled architecture."""
+    probe_tuples = probe_tuples if probe_tuples is not None else build_tuples
+    machine = machine or coupled_machine()
+    workload = JoinWorkload.uniform(build_tuples, probe_tuples, seed=seed)
+    timing = run_join("PHJ", "PL", workload.build, workload.probe, machine=machine)
+    result = ExperimentResult(
+        experiment="Figure 6",
+        description="Optimal workload ratios of PHJ-PL steps (coupled architecture)",
+        parameters={"build_tuples": build_tuples},
+    )
+    _ratio_rows(result, timing, "PHJ-PL")
+    result.add_note(
+        "Hash-computation steps (n1/b1/p1) are assigned (almost) entirely to the GPU."
+    )
+    return result

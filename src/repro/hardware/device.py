@@ -1,0 +1,137 @@
+"""Analytical device timing model.
+
+A :class:`DeviceModel` converts the :class:`~repro.hardware.workstats.WorkStats`
+reported by an executed step into simulated seconds on one processor.  The
+model mirrors the structure of the paper's cost model (Section 4): execution
+time of a step is computation time plus memory time (plus atomic/latch and
+divergence overheads, which the paper's analytic model deliberately omits and
+which therefore show up as the difference between "estimated" and "measured"
+time in Figures 7–9 and 11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .specs import DeviceSpec
+from .workstats import TimeBreakdown, WorkProfile, WorkStats
+
+
+@dataclass(frozen=True)
+class MemoryEnvironment:
+    """Memory-system context for a step execution.
+
+    ``miss_ratio`` is the last-level-cache miss ratio of the step's random
+    accesses, produced by the machine's :class:`~repro.hardware.cache.CacheModel`.
+    """
+
+    miss_ratio: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.miss_ratio <= 1.0:
+            raise ValueError(f"miss_ratio must be in [0, 1], got {self.miss_ratio}")
+
+
+class DeviceModel:
+    """Converts work statistics into simulated time for one device."""
+
+    def __init__(self, spec: DeviceSpec) -> None:
+        self.spec = spec
+
+    # ------------------------------------------------------------------
+    # Component models
+    # ------------------------------------------------------------------
+    def compute_time(self, stats: WorkStats) -> float:
+        """Instruction execution time assuming the peak-IPC pipeline (Eq. 3)."""
+        return stats.instructions / self.spec.instruction_throughput
+
+    def memory_time(self, stats: WorkStats, env: MemoryEnvironment) -> float:
+        """Sequential streaming plus random access stalls."""
+        sequential = stats.sequential_bytes / self.spec.sequential_bandwidth
+        per_access = (
+            env.miss_ratio * self.spec.dram_random_access_s
+            + (1.0 - env.miss_ratio) * self.spec.cache_hit_access_s
+        )
+        random = stats.random_accesses * per_access
+        return sequential + random
+
+    def atomic_time(self, stats: WorkStats) -> float:
+        """Latch / atomic-operation cost including contention serialisation."""
+        contention = 1.0 + stats.atomic_conflict_ratio * (
+            self.spec.atomic_contention_factor - 1.0
+        )
+        global_cost = stats.global_atomics * self.spec.atomic_global_s * contention
+        local_cost = stats.local_atomics * self.spec.atomic_local_s
+        return global_cost + local_cost
+
+    def divergence_time(self, stats: WorkStats, compute_s: float, memory_s: float) -> float:
+        """Extra time lost to intra-wavefront workload divergence.
+
+        A wavefront finishes only when its slowest work item does, so divergent
+        work inflates both the compute and memory components.  The CPU executes
+        work items independently and pays almost nothing.
+        """
+        if stats.divergence <= 0.0:
+            return 0.0
+        lockstep_exposure = min(1.0, (self.spec.wavefront_width - 1) / 63.0)
+        penalty = self.spec.divergence_penalty * stats.divergence * lockstep_exposure
+        return (compute_s + memory_s) * penalty
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+    def elapsed(
+        self,
+        stats: WorkStats,
+        env: MemoryEnvironment | None = None,
+    ) -> TimeBreakdown:
+        """Full simulated time breakdown for executing ``stats`` on this device."""
+        env = env or MemoryEnvironment()
+        compute_s = self.compute_time(stats)
+        memory_s = self.memory_time(stats, env)
+        atomic_s = self.atomic_time(stats)
+        divergence_s = self.divergence_time(stats, compute_s, memory_s)
+        return TimeBreakdown(
+            compute_s=compute_s,
+            memory_s=memory_s,
+            atomic_s=atomic_s,
+            divergence_s=divergence_s,
+        )
+
+    def elapsed_seconds(
+        self,
+        stats: WorkStats,
+        env: MemoryEnvironment | None = None,
+    ) -> float:
+        return self.elapsed(stats, env).total_s
+
+    def unit_cost(
+        self,
+        profile: WorkProfile,
+        env: MemoryEnvironment | None = None,
+    ) -> float:
+        """Simulated seconds per tuple for a per-tuple work profile.
+
+        This is what Figure 4 of the paper reports (nanoseconds per tuple per
+        step on each device).
+        """
+        stats = profile.stats_for(1)
+        return self.elapsed_seconds(stats, env)
+
+    def estimated_time(
+        self,
+        profile: WorkProfile,
+        n_tuples: float,
+        env: MemoryEnvironment | None = None,
+    ) -> float:
+        """Cost-model style estimate: computation + memory only (Eq. 2 terms
+        ``C`` and ``M``), excluding latch contention and divergence, which the
+        paper's model does not capture."""
+        env = env or MemoryEnvironment()
+        stats = profile.stats_for(1)
+        compute_s = self.compute_time(stats)
+        memory_s = self.memory_time(stats, env)
+        return (compute_s + memory_s) * n_tuples
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DeviceModel({self.spec.name!r})"

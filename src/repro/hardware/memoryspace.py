@@ -1,0 +1,124 @@
+"""Memory spaces of the coupled architecture.
+
+On current AMD APUs the system memory is split into host memory (CPU) and
+device memory (GPU); both can be accessed by either processor through the
+*zero copy buffer*, which is relatively small (512 MB on the A8-3870K, Table
+1).  The paper stores all join data in the zero copy buffer, and falls back to
+an external-partitioning scheme when the data does not fit (Appendix,
+Figure 19).  This module tracks allocations in those spaces so the join
+operators can (a) check whether a workload fits and (b) account the copy time
+between system memory and the zero copy buffer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class OutOfMemoryError(RuntimeError):
+    """Raised when an allocation does not fit into a memory space."""
+
+
+@dataclass
+class Allocation:
+    """One live allocation inside a memory space."""
+
+    label: str
+    nbytes: int
+    offset: int
+
+
+class MemorySpace:
+    """A bump-allocated memory space with capacity accounting."""
+
+    def __init__(self, name: str, capacity_bytes: int) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError("capacity_bytes must be positive")
+        self.name = name
+        self.capacity_bytes = capacity_bytes
+        self.allocations: dict[str, Allocation] = {}
+        self._next_offset = 0
+        self.peak_usage = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def used_bytes(self) -> int:
+        return sum(a.nbytes for a in self.allocations.values())
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self.used_bytes
+
+    def fits(self, nbytes: int) -> bool:
+        return nbytes <= self.free_bytes
+
+    def allocate(self, label: str, nbytes: int) -> Allocation:
+        """Reserve ``nbytes`` under ``label``; raises when it does not fit."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if label in self.allocations:
+            raise ValueError(f"allocation {label!r} already exists in {self.name}")
+        if not self.fits(nbytes):
+            raise OutOfMemoryError(
+                f"{self.name}: cannot allocate {nbytes} bytes "
+                f"({self.free_bytes} bytes free of {self.capacity_bytes})"
+            )
+        allocation = Allocation(label=label, nbytes=nbytes, offset=self._next_offset)
+        self._next_offset += nbytes
+        self.allocations[label] = allocation
+        self.peak_usage = max(self.peak_usage, self.used_bytes)
+        return allocation
+
+    def release(self, label: str) -> None:
+        if label not in self.allocations:
+            raise KeyError(f"no allocation named {label!r} in {self.name}")
+        del self.allocations[label]
+
+    def release_all(self) -> None:
+        self.allocations.clear()
+        self._next_offset = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MemorySpace({self.name!r}, used={self.used_bytes}, "
+            f"capacity={self.capacity_bytes})"
+        )
+
+
+class ZeroCopyBuffer(MemorySpace):
+    """The APU's zero copy buffer: visible to both the CPU and the GPU."""
+
+    def __init__(self, capacity_bytes: int) -> None:
+        super().__init__(name="zero-copy-buffer", capacity_bytes=capacity_bytes)
+
+    def can_hold_join(self, build_bytes: int, probe_bytes: int, overhead_factor: float = 2.0) -> bool:
+        """Whether an in-buffer join of the given relations is possible.
+
+        ``overhead_factor`` accounts for the hash table and result buffers the
+        join allocates on top of the raw relations.
+        """
+        required = int((build_bytes + probe_bytes) * overhead_factor)
+        return required <= self.capacity_bytes
+
+
+@dataclass
+class MemorySystem:
+    """System memory plus the zero copy buffer, with copy-time accounting."""
+
+    zero_copy: ZeroCopyBuffer
+    system_memory: MemorySpace
+    #: Bandwidth of copies between system memory and the zero copy buffer.
+    copy_bandwidth_bytes_per_s: float = 8.0 * 2**30
+    copied_bytes: int = field(default=0)
+
+    def copy_time(self, nbytes: int) -> float:
+        """Simulated time to move ``nbytes`` between the spaces."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        self.copied_bytes += nbytes
+        return nbytes / self.copy_bandwidth_bytes_per_s
+
+    def reset(self) -> None:
+        self.copied_bytes = 0
+        self.zero_copy.release_all()
+        self.system_memory.release_all()

@@ -1,0 +1,80 @@
+"""PCI-e bus model used by the emulated discrete architecture.
+
+The paper (Section 5.1) emulates the discrete CPU-GPU machine by running on
+the APU and *adding* a transfer delay ``latency + size / bandwidth`` for every
+host <-> device data movement, with latency 0.015 ms and bandwidth 3 GB/s.
+This module reproduces exactly that delay model and additionally keeps
+per-direction accounting so experiments can report how much of the total time
+was spent on the bus (Figure 3's "data-transfer" component).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .specs import PCIeSpec
+
+
+@dataclass
+class TransferRecord:
+    """One logical transfer over the bus."""
+
+    bytes: int
+    direction: str  # "h2d" or "d2h"
+    seconds: float
+    label: str = ""
+
+
+class PCIeBus:
+    """Latency + bandwidth bus with transfer accounting."""
+
+    HOST_TO_DEVICE = "h2d"
+    DEVICE_TO_HOST = "d2h"
+
+    def __init__(self, spec: PCIeSpec | None = None) -> None:
+        self.spec = spec or PCIeSpec()
+        self.transfers: list[TransferRecord] = []
+
+    # ------------------------------------------------------------------
+    def transfer_time(self, n_bytes: float) -> float:
+        """Delay of a single transfer of ``n_bytes`` (Section 5.1 formula)."""
+        if n_bytes < 0:
+            raise ValueError("n_bytes must be non-negative")
+        if n_bytes == 0:
+            return 0.0
+        return self.spec.latency_s + n_bytes / self.spec.bandwidth_bytes_per_s
+
+    def transfer(self, n_bytes: int, direction: str, label: str = "") -> float:
+        """Record a transfer and return its simulated delay."""
+        if direction not in (self.HOST_TO_DEVICE, self.DEVICE_TO_HOST):
+            raise ValueError(f"direction must be 'h2d' or 'd2h', got {direction!r}")
+        seconds = self.transfer_time(n_bytes)
+        self.transfers.append(
+            TransferRecord(bytes=int(n_bytes), direction=direction, seconds=seconds, label=label)
+        )
+        return seconds
+
+    # ------------------------------------------------------------------
+    @property
+    def total_seconds(self) -> float:
+        return sum(t.seconds for t in self.transfers)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(t.bytes for t in self.transfers)
+
+    def seconds_by_direction(self) -> dict[str, float]:
+        out = {self.HOST_TO_DEVICE: 0.0, self.DEVICE_TO_HOST: 0.0}
+        for t in self.transfers:
+            out[t.direction] += t.seconds
+        return out
+
+    def reset(self) -> None:
+        self.transfers.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PCIeBus(latency={self.spec.latency_s * 1e3:.3f} ms, "
+            f"bandwidth={self.spec.bandwidth_bytes_per_s / 2**30:.1f} GiB/s, "
+            f"transfers={len(self.transfers)})"
+        )

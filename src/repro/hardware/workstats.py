@@ -1,0 +1,180 @@
+"""Work accounting shared between the join operators and the device model.
+
+Every fine-grained join step reports *what it did* (instructions executed,
+memory touched, atomics issued, how divergent the per-tuple work was) as a
+:class:`WorkStats` record.  The device model then converts a ``WorkStats``
+into simulated seconds for a particular processor.  This is the boundary that
+replaces wall-clock measurement on the physical APU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+
+@dataclass(frozen=True)
+class WorkStats:
+    """Aggregate work performed by (part of) a step execution."""
+
+    #: Number of input items processed (tuples, or partition pairs for the
+    #: coarse-grained step definition).
+    tuples: int = 0
+    #: Total dynamic instruction count.
+    instructions: float = 0.0
+    #: Bytes read/written with streaming (sequential) access patterns.
+    sequential_bytes: float = 0.0
+    #: Number of cache-line-sized random accesses (hash bucket headers, key
+    #: list nodes, rid list nodes, build tuples...).
+    random_accesses: float = 0.0
+    #: Global-memory atomic operations (latches, allocator pointer bumps).
+    global_atomics: float = 0.0
+    #: Local-memory atomic operations (the optimised allocator's local pointer).
+    local_atomics: float = 0.0
+    #: Workload divergence in [0, 1]: 0 = perfectly uniform per-tuple work,
+    #: 1 = highly varying work within a wavefront (e.g. skewed key lists).
+    divergence: float = 0.0
+    #: Fraction of concurrent atomic operations that target the same object
+    #: (drives latch-contention serialisation).
+    atomic_conflict_ratio: float = 0.0
+
+    def __add__(self, other: "WorkStats") -> "WorkStats":
+        if not isinstance(other, WorkStats):
+            return NotImplemented
+        total_tuples = self.tuples + other.tuples
+        return WorkStats(
+            tuples=total_tuples,
+            instructions=self.instructions + other.instructions,
+            sequential_bytes=self.sequential_bytes + other.sequential_bytes,
+            random_accesses=self.random_accesses + other.random_accesses,
+            global_atomics=self.global_atomics + other.global_atomics,
+            local_atomics=self.local_atomics + other.local_atomics,
+            divergence=_weighted(self.divergence, self.tuples, other.divergence, other.tuples),
+            atomic_conflict_ratio=_weighted(
+                self.atomic_conflict_ratio, self.tuples,
+                other.atomic_conflict_ratio, other.tuples,
+            ),
+        )
+
+    def scaled(self, factor: float) -> "WorkStats":
+        """Scale every extensive quantity by ``factor`` (ratios unchanged)."""
+        if factor < 0:
+            raise ValueError("factor must be non-negative")
+        return WorkStats(
+            tuples=int(round(self.tuples * factor)),
+            instructions=self.instructions * factor,
+            sequential_bytes=self.sequential_bytes * factor,
+            random_accesses=self.random_accesses * factor,
+            global_atomics=self.global_atomics * factor,
+            local_atomics=self.local_atomics * factor,
+            divergence=self.divergence,
+            atomic_conflict_ratio=self.atomic_conflict_ratio,
+        )
+
+    def is_empty(self) -> bool:
+        return self.tuples == 0 and self.instructions == 0 and self.random_accesses == 0
+
+    def as_dict(self) -> dict[str, float]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+def _weighted(a: float, wa: float, b: float, wb: float) -> float:
+    """Tuple-count weighted average of an intensive quantity."""
+    total = wa + wb
+    if total <= 0:
+        return max(a, b)
+    return (a * wa + b * wb) / total
+
+
+@dataclass(frozen=True)
+class WorkProfile:
+    """Per-tuple work profile of one step (the cost model's unit costs).
+
+    A profile is either declared analytically (for the cost model) or obtained
+    by dividing a measured :class:`WorkStats` by its tuple count (profiling,
+    the role AMD CodeXL plays in the paper).
+    """
+
+    instructions_per_tuple: float = 0.0
+    sequential_bytes_per_tuple: float = 0.0
+    random_accesses_per_tuple: float = 0.0
+    global_atomics_per_tuple: float = 0.0
+    local_atomics_per_tuple: float = 0.0
+    divergence: float = 0.0
+    atomic_conflict_ratio: float = 0.0
+
+    def stats_for(self, n_tuples: int) -> WorkStats:
+        """Expand the per-tuple profile into a :class:`WorkStats` total."""
+        if n_tuples < 0:
+            raise ValueError("n_tuples must be non-negative")
+        return WorkStats(
+            tuples=n_tuples,
+            instructions=self.instructions_per_tuple * n_tuples,
+            sequential_bytes=self.sequential_bytes_per_tuple * n_tuples,
+            random_accesses=self.random_accesses_per_tuple * n_tuples,
+            global_atomics=self.global_atomics_per_tuple * n_tuples,
+            local_atomics=self.local_atomics_per_tuple * n_tuples,
+            divergence=self.divergence,
+            atomic_conflict_ratio=self.atomic_conflict_ratio,
+        )
+
+    @classmethod
+    def from_stats(cls, stats: WorkStats) -> "WorkProfile":
+        """Per-tuple profile observed from an executed step."""
+        n = max(stats.tuples, 1)
+        return cls(
+            instructions_per_tuple=stats.instructions / n,
+            sequential_bytes_per_tuple=stats.sequential_bytes / n,
+            random_accesses_per_tuple=stats.random_accesses / n,
+            global_atomics_per_tuple=stats.global_atomics / n,
+            local_atomics_per_tuple=stats.local_atomics / n,
+            divergence=stats.divergence,
+            atomic_conflict_ratio=stats.atomic_conflict_ratio,
+        )
+
+
+@dataclass
+class TimeBreakdown:
+    """Simulated execution time of one step on one device, by component."""
+
+    compute_s: float = 0.0
+    memory_s: float = 0.0
+    atomic_s: float = 0.0
+    divergence_s: float = 0.0
+    #: Pipelined-execution delay (Eq. 4/5); filled in by the PL executor.
+    pipeline_delay_s: float = 0.0
+    #: PCI-e transfer time (discrete architecture only).
+    transfer_s: float = 0.0
+
+    @property
+    def total_s(self) -> float:
+        return (
+            self.compute_s
+            + self.memory_s
+            + self.atomic_s
+            + self.divergence_s
+            + self.pipeline_delay_s
+            + self.transfer_s
+        )
+
+    def __add__(self, other: "TimeBreakdown") -> "TimeBreakdown":
+        if not isinstance(other, TimeBreakdown):
+            return NotImplemented
+        return TimeBreakdown(
+            compute_s=self.compute_s + other.compute_s,
+            memory_s=self.memory_s + other.memory_s,
+            atomic_s=self.atomic_s + other.atomic_s,
+            divergence_s=self.divergence_s + other.divergence_s,
+            pipeline_delay_s=self.pipeline_delay_s + other.pipeline_delay_s,
+            transfer_s=self.transfer_s + other.transfer_s,
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "compute_s": self.compute_s,
+            "memory_s": self.memory_s,
+            "atomic_s": self.atomic_s,
+            "divergence_s": self.divergence_s,
+            "pipeline_delay_s": self.pipeline_delay_s,
+            "transfer_s": self.transfer_s,
+            "total_s": self.total_s,
+        }

@@ -1,0 +1,97 @@
+"""MurmurHash 2.0 for 32-bit keys.
+
+The paper uses MurmurHash 2.0 (as did Blanas et al. [4]) because it has a
+good collision rate at low computational cost.  Both a scalar reference and a
+vectorised numpy implementation are provided; they produce identical values.
+The approximate dynamic instruction count of one hash evaluation is exported
+so the cost model can charge the hash-computation steps (``n1``/``b1``/``p1``)
+consistently with how the paper profiles them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Multiplicative constant of MurmurHash2.
+_M = 0x5BD1E995
+#: Shift constant of MurmurHash2.
+_R = 24
+#: Default seed (arbitrary but fixed for reproducibility).
+DEFAULT_SEED = 0x9747B28C
+
+_MASK32 = 0xFFFFFFFF
+
+#: Approximate dynamic instructions per 4-byte-key hash evaluation, including
+#: the surrounding load of the key and the bucket modulo.  Used by the
+#: analytical work profiles of the hash-computation steps.
+MURMUR_INSTRUCTIONS_PER_KEY = 180.0
+
+
+def murmur2_scalar(key: int, seed: int = DEFAULT_SEED) -> int:
+    """MurmurHash2 of one 4-byte integer key (reference implementation)."""
+    key &= _MASK32
+    length = 4
+    h = (seed ^ length) & _MASK32
+
+    k = key
+    k = (k * _M) & _MASK32
+    k ^= k >> _R
+    k = (k * _M) & _MASK32
+
+    h = (h * _M) & _MASK32
+    h ^= k
+
+    # Tail handling: length is a multiple of 4, so no tail bytes.
+    h ^= h >> 13
+    h = (h * _M) & _MASK32
+    h ^= h >> 15
+    return h & _MASK32
+
+
+def murmur2(keys: np.ndarray, seed: int = DEFAULT_SEED) -> np.ndarray:
+    """Vectorised MurmurHash2 over an array of 4-byte integer keys."""
+    keys = np.asarray(keys)
+    k = keys.astype(np.uint64) & _MASK32
+    m = np.uint64(_M)
+    mask = np.uint64(_MASK32)
+
+    h = np.uint64((seed ^ 4) & _MASK32)
+    k = (k * m) & mask
+    k ^= k >> np.uint64(_R)
+    k = (k * m) & mask
+
+    h = (np.full(k.shape, h, dtype=np.uint64) * m) & mask
+    h ^= k
+    h ^= h >> np.uint64(13)
+    h = (h * m) & mask
+    h ^= h >> np.uint64(15)
+    return (h & mask).astype(np.uint64)
+
+
+def bucket_of(keys: np.ndarray, n_buckets: int, seed: int = DEFAULT_SEED) -> np.ndarray:
+    """Hash bucket number of each key (step ``b1``/``p1``)."""
+    if n_buckets <= 0:
+        raise ValueError("n_buckets must be positive")
+    return (murmur2(keys, seed=seed) % np.uint64(n_buckets)).astype(np.int64)
+
+
+def radix_of(
+    keys: np.ndarray,
+    bits: int,
+    pass_index: int = 0,
+    seed: int = DEFAULT_SEED,
+) -> np.ndarray:
+    """Radix partition number for one partitioning pass (step ``n1``).
+
+    The radix partitioning of the paper [5] uses a number of *lower bits of
+    the integer hash values*; successive passes consume successive bit
+    groups.
+    """
+    if bits <= 0:
+        raise ValueError("bits must be positive")
+    if pass_index < 0:
+        raise ValueError("pass_index must be non-negative")
+    hashed = murmur2(keys, seed=seed)
+    shift = np.uint64(bits * pass_index)
+    mask = np.uint64((1 << bits) - 1)
+    return ((hashed >> shift) & mask).astype(np.int64)

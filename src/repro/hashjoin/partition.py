@@ -1,0 +1,400 @@
+"""Radix partitioning and the partitioned hash join (PHJ, Algorithm 2).
+
+The paper adopts the radix hash join [5]: both relations are split into the
+same partitions by one or more passes over a number of lower bits of the
+integer hash values (steps ``n1``–``n3`` per pass), after which a simple hash
+join is applied to each partition pair.  Partitioning keeps each per-pair hash
+table small enough to stay cache resident, trading extra sequential passes for
+fewer memory stalls during the probe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..data.relation import Relation
+from ..hardware.cache import WorkingSet
+from ..opencl.allocator import MemoryAllocator
+from .hashtable import BUCKET_HEADER_BYTES, KEY_NODE_BYTES, RID_NODE_BYTES, HashTable
+from .murmur import DEFAULT_SEED, MURMUR_INSTRUCTIONS_PER_KEY, radix_of
+from .result import JoinResult
+from .simple import HashJoinConfig, arena_capacity_for, execute_build, execute_probe
+from .steps import (
+    PARTITION_STEPS,
+    PerTupleWork,
+    StepExecution,
+    StepSeries,
+)
+
+PARTITION_HEADER_VISIT_INSTRUCTIONS = 10.0
+PARTITION_INSERT_INSTRUCTIONS = 15.0
+PARTITION_SLOT_BYTES = 8
+
+
+class PartitionError(RuntimeError):
+    """Raised for invalid partitioning configurations."""
+
+
+@dataclass(frozen=True)
+class PartitionConfig:
+    """Radix-partitioning configuration.
+
+    The number of passes and bits per pass are tuned to the memory hierarchy
+    (TLB and caches) in the paper; :func:`plan_partitioning` picks them from a
+    target per-partition size.
+    """
+
+    bits_per_pass: int = 6
+    n_passes: int = 1
+    hash_seed: int = DEFAULT_SEED
+
+    def __post_init__(self) -> None:
+        if self.bits_per_pass <= 0 or self.n_passes <= 0:
+            raise PartitionError("bits_per_pass and n_passes must be positive")
+        if self.bits_per_pass * self.n_passes > 24:
+            raise PartitionError("more than 24 radix bits is not supported")
+
+    @property
+    def total_bits(self) -> int:
+        return self.bits_per_pass * self.n_passes
+
+    @property
+    def n_partitions(self) -> int:
+        return 1 << self.total_bits
+
+    @property
+    def fanout_per_pass(self) -> int:
+        return 1 << self.bits_per_pass
+
+
+def plan_partitioning(
+    build_tuples: int,
+    target_partition_tuples: int = 64_000,
+    max_bits_per_pass: int = 8,
+) -> PartitionConfig:
+    """Choose radix bits/passes so each partition holds about the target tuples."""
+    if build_tuples <= 0:
+        return PartitionConfig(bits_per_pass=1, n_passes=1)
+    if target_partition_tuples <= 0:
+        raise PartitionError("target_partition_tuples must be positive")
+    needed = max(1, int(np.ceil(build_tuples / target_partition_tuples)))
+    total_bits = max(1, int(np.ceil(np.log2(needed))))
+    n_passes = max(1, int(np.ceil(total_bits / max_bits_per_pass)))
+    bits_per_pass = int(np.ceil(total_bits / n_passes))
+    return PartitionConfig(bits_per_pass=bits_per_pass, n_passes=n_passes)
+
+
+@dataclass
+class PartitionSet:
+    """The output of radix partitioning one relation."""
+
+    relation: Relation
+    partition_ids: np.ndarray
+    config: PartitionConfig
+
+    @property
+    def n_partitions(self) -> int:
+        return self.config.n_partitions
+
+    def partition(self, pid: int) -> Relation:
+        mask = self.partition_ids == pid
+        return self.relation.take(np.flatnonzero(mask), name=f"{self.relation.name}[{pid}]")
+
+    def partition_sizes(self) -> np.ndarray:
+        sizes = np.zeros(self.n_partitions, dtype=np.int64)
+        np.add.at(sizes, self.partition_ids, 1)
+        return sizes
+
+    def partitions(self) -> list[Relation]:
+        order = np.argsort(self.partition_ids, kind="stable")
+        sorted_ids = self.partition_ids[order]
+        sizes = self.partition_sizes()
+        offsets = np.concatenate(([0], np.cumsum(sizes)))
+        sorted_rel = self.relation.take(order)
+        return [
+            sorted_rel.slice(int(offsets[p]), int(offsets[p + 1]),
+                             name=f"{self.relation.name}[{p}]")
+            for p in range(self.n_partitions)
+        ]
+
+
+@dataclass
+class PartitionPhaseOutcome:
+    """Step series of all partitioning passes plus the final partition sets."""
+
+    series_per_pass: list[StepSeries]
+    build_partitions: PartitionSet
+    probe_partitions: PartitionSet
+
+
+@dataclass
+class PHJRun:
+    """A fully executed partitioned hash join."""
+
+    partition_phase: PartitionPhaseOutcome
+    build_series: StepSeries
+    probe_series: StepSeries
+    result: JoinResult
+    config: HashJoinConfig
+    partition_config: PartitionConfig
+    #: Largest per-pair hash-table size in bytes (cache-residency indicator).
+    max_pair_table_bytes: int = 0
+
+    @property
+    def step_series(self) -> list[StepSeries]:
+        return [*self.partition_phase.series_per_pass, self.build_series, self.probe_series]
+
+
+# ---------------------------------------------------------------------------
+# Partition phase: n1 .. n3 per pass
+# ---------------------------------------------------------------------------
+def final_partition_ids(
+    keys: np.ndarray, config: PartitionConfig
+) -> np.ndarray:
+    """Partition id after all passes (the concatenation of per-pass radix bits)."""
+    ids = np.zeros(np.asarray(keys).shape[0], dtype=np.int64)
+    for pass_index in range(config.n_passes):
+        digits = radix_of(keys, config.bits_per_pass, pass_index, seed=config.hash_seed)
+        ids |= digits << (config.bits_per_pass * pass_index)
+    return ids
+
+
+def execute_partition_pass(
+    keys: np.ndarray,
+    pass_index: int,
+    config: PartitionConfig,
+    allocator: MemoryAllocator,
+    n_live_partitions: int,
+    shared_between_devices: bool = True,
+) -> StepSeries:
+    """Execute one radix-partitioning pass over ``keys`` (steps n1-n3).
+
+    ``n_live_partitions`` is the number of partitions existing after this
+    pass, which determines the size of the partition-header working set.
+    """
+    n = np.asarray(keys).shape[0]
+    # n1: compute the partition number (hash + bit extraction).
+    n1 = StepExecution(
+        step=PARTITION_STEPS[0],
+        work=PerTupleWork(
+            n_tuples=n,
+            instructions=MURMUR_INSTRUCTIONS_PER_KEY + 10.0,
+            sequential_bytes=12.0,
+        ),
+        working_set=None,
+        intermediate_bytes_per_tuple=12.0,
+    )
+
+    headers_ws = WorkingSet(
+        bytes=float(n_live_partitions * BUCKET_HEADER_BYTES),
+        shared_between_devices=shared_between_devices,
+    )
+    # n2: visit the partition header (histogram / header latch).
+    n2 = StepExecution(
+        step=PARTITION_STEPS[1],
+        work=PerTupleWork(
+            n_tuples=n,
+            instructions=PARTITION_HEADER_VISIT_INSTRUCTIONS,
+            random_accesses=1.0,
+            global_atomics=1.0,
+        ),
+        working_set=headers_ws,
+        conflict_ratio={"cpu": 0.02, "gpu": 0.05},
+        intermediate_bytes_per_tuple=8.0,
+    )
+
+    # n3: write the <key, rid> pair into its partition's output buffer.
+    galloc, lalloc = allocator.atomics_per_request(PARTITION_SLOT_BYTES)
+    allocator.bulk_allocate(n, PARTITION_SLOT_BYTES, n_groups=max(1, n // 256))
+    n3 = StepExecution(
+        step=PARTITION_STEPS[2],
+        work=PerTupleWork(
+            n_tuples=n,
+            instructions=PARTITION_INSERT_INSTRUCTIONS,
+            random_accesses=1.0,
+            sequential_bytes=float(PARTITION_SLOT_BYTES),
+            global_atomics=galloc,
+            local_atomics=lalloc,
+        ),
+        working_set=WorkingSet(
+            bytes=float(n * PARTITION_SLOT_BYTES),
+            shared_between_devices=shared_between_devices,
+        ),
+        conflict_ratio={
+            "cpu": allocator.conflict_ratio("cpu", PARTITION_SLOT_BYTES),
+            "gpu": allocator.conflict_ratio("gpu", PARTITION_SLOT_BYTES),
+        },
+        intermediate_bytes_per_tuple=0.0,
+    )
+    return StepSeries(phase="partition", executions=[n1, n2, n3])
+
+
+def execute_partition_phase(
+    build: Relation,
+    probe: Relation,
+    partition_config: PartitionConfig,
+    join_config: HashJoinConfig,
+    allocator: MemoryAllocator,
+) -> PartitionPhaseOutcome:
+    """Partition both relations; one combined step series per pass."""
+    series: list[StepSeries] = []
+    combined_keys = np.concatenate([build.keys, probe.keys]) if (len(build) + len(probe)) else np.empty(0, dtype=np.int64)
+    live = 1
+    for pass_index in range(partition_config.n_passes):
+        live *= partition_config.fanout_per_pass
+        series.append(
+            execute_partition_pass(
+                combined_keys,
+                pass_index,
+                partition_config,
+                allocator,
+                n_live_partitions=live,
+                shared_between_devices=join_config.shared_hash_table,
+            )
+        )
+
+    build_ids = final_partition_ids(build.keys, partition_config)
+    probe_ids = final_partition_ids(probe.keys, partition_config)
+    return PartitionPhaseOutcome(
+        series_per_pass=series,
+        build_partitions=PartitionSet(build, build_ids, partition_config),
+        probe_partitions=PartitionSet(probe, probe_ids, partition_config),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Joining the partition pairs with fine-grained SHJ steps
+# ---------------------------------------------------------------------------
+def _concat_per_tuple(values: list[np.ndarray | float], lengths: list[int]) -> np.ndarray | float:
+    """Concatenate per-tuple work quantities of several partition pairs."""
+    if all(not isinstance(v, np.ndarray) for v in values):
+        unique = {float(v) for v in values}
+        if len(unique) == 1:
+            return unique.pop()
+    arrays = [
+        v if isinstance(v, np.ndarray) else np.full(n, float(v))
+        for v, n in zip(values, lengths)
+    ]
+    return np.concatenate(arrays) if arrays else np.empty(0, dtype=np.float64)
+
+
+def concat_step_series(
+    series_list: list[StepSeries],
+    phase: str,
+    working_set: WorkingSet | None,
+) -> StepSeries:
+    """Merge the same-phase step series of all partition pairs into one.
+
+    The merged series processes the concatenation of all pairs' tuples; the
+    per-step working set is overridden with the per-pair table size because
+    that is what the probe's random accesses actually touch.
+    """
+    if not series_list:
+        raise PartitionError("no step series to concatenate")
+    n_steps = series_list[0].n_steps
+    merged: list[StepExecution] = []
+    for step_idx in range(n_steps):
+        executions = [series[step_idx] for series in series_list]
+        lengths = [e.n_tuples for e in executions]
+        total = int(sum(lengths))
+        work = PerTupleWork(
+            n_tuples=total,
+            instructions=_concat_per_tuple([e.work.instructions for e in executions], lengths),
+            random_accesses=_concat_per_tuple([e.work.random_accesses for e in executions], lengths),
+            sequential_bytes=_concat_per_tuple([e.work.sequential_bytes for e in executions], lengths),
+            global_atomics=_concat_per_tuple([e.work.global_atomics for e in executions], lengths),
+            local_atomics=_concat_per_tuple([e.work.local_atomics for e in executions], lengths),
+        )
+        template = executions[0]
+        conflict = {
+            kind: max(e.conflict_ratio.get(kind, 0.0) for e in executions)
+            for kind in ("cpu", "gpu")
+        }
+        merged.append(
+            StepExecution(
+                step=template.step,
+                work=work,
+                working_set=working_set if template.working_set is not None else None,
+                conflict_ratio=conflict,
+                intermediate_bytes_per_tuple=template.intermediate_bytes_per_tuple,
+                grouped=template.grouped,
+            )
+        )
+    return StepSeries(phase=phase, executions=merged)
+
+
+class PartitionedHashJoin:
+    """The PHJ operator: radix partitioning followed by per-pair SHJ."""
+
+    def __init__(
+        self,
+        config: HashJoinConfig | None = None,
+        partition_config: PartitionConfig | None = None,
+        target_partition_tuples: int = 64_000,
+    ) -> None:
+        self.config = config or HashJoinConfig()
+        self.partition_config = partition_config
+        self.target_partition_tuples = target_partition_tuples
+
+    def _partition_config_for(self, build: Relation) -> PartitionConfig:
+        if self.partition_config is not None:
+            return self.partition_config
+        return plan_partitioning(len(build), self.target_partition_tuples)
+
+    def run(self, build: Relation, probe: Relation) -> PHJRun:
+        partition_config = self._partition_config_for(build)
+        allocator = self.config.make_allocator(
+            arena_capacity_for(len(build), len(probe)) + (len(build) + len(probe)) * 16
+        )
+
+        partition_phase = execute_partition_phase(
+            build, probe, partition_config, self.config, allocator
+        )
+
+        build_parts = partition_phase.build_partitions.partitions()
+        probe_parts = partition_phase.probe_partitions.partitions()
+
+        build_series_per_pair: list[StepSeries] = []
+        probe_series_per_pair: list[StepSeries] = []
+        results: list[JoinResult] = []
+        max_table_bytes = 0
+
+        for build_part, probe_part in zip(build_parts, probe_parts):
+            if len(build_part) == 0 and len(probe_part) == 0:
+                continue
+            table = HashTable(
+                n_buckets=self.config.bucket_count_for(max(len(build_part), 1)),
+                allocator=allocator,
+                shared_between_devices=self.config.shared_hash_table,
+            )
+            build_outcome = execute_build(build_part, table, self.config)
+            probe_outcome = execute_probe(probe_part, table, self.config)
+            build_series_per_pair.append(build_outcome.series)
+            probe_series_per_pair.append(probe_outcome.series)
+            results.append(probe_outcome.result)
+            max_table_bytes = max(max_table_bytes, table.nbytes)
+
+        pair_ws = WorkingSet(
+            bytes=float(max_table_bytes),
+            shared_between_devices=self.config.shared_hash_table,
+        )
+        build_series = concat_step_series(build_series_per_pair, "build", pair_ws)
+        probe_series = concat_step_series(probe_series_per_pair, "probe", pair_ws)
+
+        return PHJRun(
+            partition_phase=partition_phase,
+            build_series=build_series,
+            probe_series=probe_series,
+            result=JoinResult.concat(results),
+            config=self.config,
+            partition_config=partition_config,
+            max_pair_table_bytes=max_table_bytes,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PartitionedHashJoin(config={self.config!r}, "
+            f"partition_config={self.partition_config!r})"
+        )

@@ -1,0 +1,106 @@
+"""A minimal kernel-launch abstraction over the simulated devices.
+
+The paper writes every join step as one OpenCL kernel and launches it on
+either compute device.  The reproduction's per-tuple reference path does the
+same: a :class:`Kernel` wraps a per-work-item Python callable, a launch
+enumerates the NDRange work group by work group, and the per-item work
+reports are folded into a :class:`~repro.hardware.workstats.WorkStats` with
+wavefront-divergence accounting.  (The bulk numpy path in
+:mod:`repro.hashjoin.vectorized` bypasses this for speed but produces the
+same statistics.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..hardware.workstats import WorkStats
+from .ndrange import NDRange, WorkItemId
+from .wavefront import wavefront_divergence
+
+
+@dataclass
+class WorkItemReport:
+    """Work performed by one work item (one tuple, usually)."""
+
+    instructions: float = 0.0
+    random_accesses: float = 0.0
+    sequential_bytes: float = 0.0
+    global_atomics: float = 0.0
+    local_atomics: float = 0.0
+
+    @property
+    def workload(self) -> float:
+        """Scalar proxy of this item's execution time, used for divergence."""
+        return self.instructions + 10.0 * self.random_accesses + 5.0 * self.global_atomics
+
+
+#: A kernel body: (work item id, kernel arguments) -> per-item work report.
+KernelBody = Callable[[WorkItemId, dict], WorkItemReport]
+
+
+@dataclass
+class LaunchResult:
+    """Outcome of one kernel launch."""
+
+    stats: WorkStats
+    reports: list[WorkItemReport] = field(default_factory=list)
+
+
+class Kernel:
+    """A named per-work-item kernel."""
+
+    def __init__(self, name: str, body: KernelBody) -> None:
+        self.name = name
+        self.body = body
+
+    def launch(
+        self,
+        ndrange: NDRange,
+        args: dict | None = None,
+        wavefront_width: int = 64,
+        atomic_conflict_ratio: float = 0.0,
+        keep_reports: bool = False,
+    ) -> LaunchResult:
+        """Execute the kernel over ``ndrange`` and aggregate its work stats."""
+        args = args or {}
+        reports: list[WorkItemReport] = []
+        instructions = 0.0
+        random_accesses = 0.0
+        sequential_bytes = 0.0
+        global_atomics = 0.0
+        local_atomics = 0.0
+        workloads: list[float] = []
+
+        for global_id in range(ndrange.global_size):
+            item = WorkItemId.from_global(global_id, ndrange)
+            report = self.body(item, args)
+            instructions += report.instructions
+            random_accesses += report.random_accesses
+            sequential_bytes += report.sequential_bytes
+            global_atomics += report.global_atomics
+            local_atomics += report.local_atomics
+            workloads.append(report.workload)
+            if keep_reports:
+                reports.append(report)
+
+        divergence = wavefront_divergence(
+            np.asarray(workloads, dtype=np.float64), width=wavefront_width
+        ).divergence
+        stats = WorkStats(
+            tuples=ndrange.global_size,
+            instructions=instructions,
+            sequential_bytes=sequential_bytes,
+            random_accesses=random_accesses,
+            global_atomics=global_atomics,
+            local_atomics=local_atomics,
+            divergence=divergence,
+            atomic_conflict_ratio=atomic_conflict_ratio,
+        )
+        return LaunchResult(stats=stats, reports=reports)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Kernel({self.name!r})"

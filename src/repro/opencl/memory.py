@@ -1,0 +1,90 @@
+"""Logical OpenCL memory spaces: global, local and private buffers.
+
+OpenCL exposes a three-level logical memory hierarchy (Section 2.2): global
+memory visible to all work items, a small fast local memory shared within a
+work group (32 KB per compute unit on the APU), and per-work-item private
+memory.  The buffers here are thin wrappers over numpy arrays that enforce
+capacity limits and count accesses, so kernels written against them exercise
+the same constraints as the paper's OpenCL kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class LocalMemoryExceededError(RuntimeError):
+    """Raised when a work group requests more local memory than the CU has."""
+
+
+@dataclass
+class AccessCounters:
+    reads: int = 0
+    writes: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.reads + self.writes
+
+
+class GlobalBuffer:
+    """A buffer in OpenCL global memory (the zero copy buffer on the APU)."""
+
+    def __init__(self, size: int, dtype: np.dtype | type = np.int64, fill: int = 0) -> None:
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        self.array = np.full(size, fill, dtype=dtype)
+        self.counters = AccessCounters()
+
+    def __len__(self) -> int:
+        return int(self.array.shape[0])
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.array.nbytes)
+
+    def read(self, index: int) -> int:
+        self.counters.reads += 1
+        return int(self.array[index])
+
+    def write(self, index: int, value: int) -> None:
+        self.counters.writes += 1
+        self.array[index] = value
+
+    def bulk_read(self, indices: np.ndarray) -> np.ndarray:
+        self.counters.reads += int(np.asarray(indices).shape[0])
+        return self.array[indices]
+
+    def bulk_write(self, indices: np.ndarray, values: np.ndarray) -> None:
+        self.counters.writes += int(np.asarray(indices).shape[0])
+        self.array[indices] = values
+
+
+class LocalBuffer:
+    """Per-work-group local memory with the device's 32 KB capacity limit."""
+
+    def __init__(self, n_items: int, item_bytes: int = 8, capacity_bytes: int = 32 * 1024) -> None:
+        required = n_items * item_bytes
+        if required > capacity_bytes:
+            raise LocalMemoryExceededError(
+                f"work group requested {required} bytes of local memory "
+                f"(capacity {capacity_bytes})"
+            )
+        self.array = np.zeros(n_items, dtype=np.int64)
+        self.item_bytes = item_bytes
+        self.capacity_bytes = capacity_bytes
+        self.counters = AccessCounters()
+
+    def read(self, index: int) -> int:
+        self.counters.reads += 1
+        return int(self.array[index])
+
+    def write(self, index: int, value: int) -> None:
+        self.counters.writes += 1
+        self.array[index] = value
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.array.shape[0]) * self.item_bytes

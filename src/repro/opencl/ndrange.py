@@ -1,0 +1,91 @@
+"""OpenCL-style index spaces: work items, work groups and wavefronts.
+
+OpenCL (Section 2.2 of the paper) executes a kernel over an *NDRange* of work
+items; work items are grouped into work groups (mapped to compute units), and
+the hardware executes them in SIMD batches — *wavefronts* of 64 work items on
+AMD, *warps* of 32 on NVIDIA.  The reproduction keeps this terminology because
+the wavefront granularity is what makes workload divergence expensive on the
+GPU (Section 3.3, "Workload divergence").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+#: AMD executes 64 work items per wavefront (the terminology used in the paper).
+AMD_WAVEFRONT_WIDTH = 64
+#: NVIDIA warp width, kept for reference.
+NVIDIA_WARP_WIDTH = 32
+
+#: Work-group sizes that fully utilise the two devices of the APU, mirroring
+#: the "tuned OpenCL configuration" remark in Section 5.1.
+DEFAULT_CPU_WORK_GROUP = 1
+DEFAULT_GPU_WORK_GROUP = 256
+
+
+class NDRangeError(ValueError):
+    """Raised for inconsistent NDRange configurations."""
+
+
+@dataclass(frozen=True)
+class NDRange:
+    """A one-dimensional launch configuration."""
+
+    global_size: int
+    local_size: int
+
+    def __post_init__(self) -> None:
+        if self.global_size < 0:
+            raise NDRangeError("global_size must be non-negative")
+        if self.local_size <= 0:
+            raise NDRangeError("local_size must be positive")
+
+    @property
+    def n_work_groups(self) -> int:
+        if self.global_size == 0:
+            return 0
+        return (self.global_size + self.local_size - 1) // self.local_size
+
+    def work_groups(self) -> Iterator[range]:
+        """Iterate the global-id ranges of each work group."""
+        for group in range(self.n_work_groups):
+            start = group * self.local_size
+            stop = min(start + self.local_size, self.global_size)
+            yield range(start, stop)
+
+    def wavefronts(self, width: int = AMD_WAVEFRONT_WIDTH) -> Iterator[range]:
+        """Iterate the global-id ranges of each wavefront.
+
+        Wavefronts never span work groups: a group smaller than the wavefront
+        width still occupies a full wavefront issue slot.
+        """
+        if width <= 0:
+            raise NDRangeError("wavefront width must be positive")
+        for group in self.work_groups():
+            for start in range(group.start, group.stop, width):
+                yield range(start, min(start + width, group.stop))
+
+    @classmethod
+    def for_device(cls, n_items: int, device_kind: str) -> "NDRange":
+        """Launch configuration tuned per device, as in the paper's setup."""
+        if device_kind == "cpu":
+            return cls(global_size=n_items, local_size=DEFAULT_CPU_WORK_GROUP)
+        if device_kind == "gpu":
+            return cls(global_size=n_items, local_size=DEFAULT_GPU_WORK_GROUP)
+        raise NDRangeError(f"unknown device kind {device_kind!r}")
+
+
+@dataclass(frozen=True)
+class WorkItemId:
+    """Identity of one work item within an NDRange."""
+
+    global_id: int
+    local_id: int
+    group_id: int
+
+    @classmethod
+    def from_global(cls, global_id: int, ndrange: NDRange) -> "WorkItemId":
+        group_id = global_id // ndrange.local_size
+        local_id = global_id % ndrange.local_size
+        return cls(global_id=global_id, local_id=local_id, group_id=group_id)

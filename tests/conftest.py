@@ -1,0 +1,49 @@
+"""Shared fixtures for the test suite.
+
+Relation sizes are kept small so the whole suite runs in well under a minute;
+the behaviour under test (correct join results, step accounting, cost-model
+properties) does not depend on scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import JoinWorkload
+from repro.hardware import coupled_machine, discrete_machine
+
+
+@pytest.fixture(scope="session")
+def small_workload() -> JoinWorkload:
+    """A 4k x 6k uniform workload used by most operator tests."""
+    return JoinWorkload.uniform(4_000, 6_000, seed=7)
+
+
+@pytest.fixture(scope="session")
+def skewed_workload() -> JoinWorkload:
+    """A high-skew workload (25% duplicated keys)."""
+    return JoinWorkload.skewed("high-skew", 4_000, 6_000, seed=11)
+
+
+@pytest.fixture(scope="session")
+def selective_workload() -> JoinWorkload:
+    """A workload where only half of the probe tuples find a match."""
+    return JoinWorkload.with_selectivity(0.5, 4_000, 6_000, seed=13)
+
+
+@pytest.fixture()
+def coupled():
+    """A fresh coupled-architecture machine."""
+    return coupled_machine()
+
+
+@pytest.fixture()
+def discrete():
+    """A fresh emulated discrete-architecture machine."""
+    return discrete_machine()
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

@@ -1,0 +1,67 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_parses_run(self):
+        args = build_parser().parse_args(["run", "fig04", "--tuples", "1000"])
+        assert args.experiment == "fig04"
+        assert args.tuples == 1000
+
+    def test_parses_join_defaults(self):
+        args = build_parser().parse_args(["join"])
+        assert args.algorithm == "PHJ"
+        assert args.scheme == "PL"
+        assert args.architecture == "coupled"
+
+
+class TestCommands:
+    def test_list_outputs_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig03", "fig13", "headline", "table3"):
+            assert name in out
+
+    def test_run_unknown_experiment_fails(self, capsys):
+        assert main(["run", "fig99"]) == 2
+
+    def test_run_table1(self, capsys):
+        assert main(["run", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "# Cores" in out
+
+    def test_run_with_tuples_and_markdown(self, capsys):
+        assert main(["run", "fig04", "--tuples", "8000", "--format", "markdown"]) == 0
+        out = capsys.readouterr().out
+        assert out.lstrip().startswith("### Figure 4")
+        assert "| step |" in out
+
+    def test_join_command(self, capsys):
+        assert main(["join", "--algorithm", "SHJ", "--scheme", "DD",
+                     "--tuples", "5000"]) == 0
+        out = capsys.readouterr().out
+        assert "SHJ-DD" in out
+        assert "matches      : 5000" in out
+
+    def test_join_discrete_architecture(self, capsys):
+        assert main(["join", "--tuples", "4000", "--architecture", "discrete"]) == 0
+        assert "(discrete)" in capsys.readouterr().out
+
+    def test_report_subset_to_file(self, tmp_path, capsys):
+        output = tmp_path / "report.md"
+        assert main(["report", "--tuples", "6000", "--only", "table1", "fig04",
+                     "--output", str(output)]) == 0
+        text = output.read_text()
+        assert "# Reproduction report" in text
+        assert "Figure 4" in text
+        assert "Table 1" in text

@@ -1,0 +1,132 @@
+"""Edge-case tests: external joins, the latch micro-benchmark model and
+experiment-result formatting details."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import JoinWorkload, Relation
+from repro.experiments.common import ExperimentResult
+from repro.experiments.fig19_external import small_buffer_machine
+from repro.experiments.fig20_latch import effective_targets, latch_benchmark_time
+from repro.hashjoin import ExternalHashJoin, plan_super_partitions, vectorized_reference_join
+from repro.hardware import coupled_machine
+
+
+def simple_pair_joiner(build: Relation, probe: Relation):
+    """A trivial pair joiner charging time proportional to the input size."""
+    result = vectorized_reference_join(build, probe)
+    return (len(build) + len(probe)) * 1e-9, result
+
+
+class TestPlanSuperPartitions:
+    def test_fits_returns_one(self):
+        workload = JoinWorkload.uniform(1_000, 1_000, seed=1)
+        assert plan_super_partitions(workload.build, workload.probe, coupled_machine()) == 1
+
+    def test_oversized_returns_power_of_two(self):
+        workload = JoinWorkload.uniform(60_000, 60_000, seed=1)
+        machine = small_buffer_machine(buffer_bytes=128 * 1024)
+        parts = plan_super_partitions(workload.build, workload.probe, machine)
+        assert parts > 1
+        assert parts & (parts - 1) == 0
+
+
+class TestExternalHashJoin:
+    def test_result_correct_across_many_partitions(self):
+        workload = JoinWorkload.uniform(20_000, 20_000, seed=9)
+        machine = small_buffer_machine(buffer_bytes=32 * 1024)
+        external = ExternalHashJoin(simple_pair_joiner, machine=machine, chunk_tuples=5_000)
+        run = external.run(workload.build, workload.probe)
+        assert not run.fits_in_buffer
+        assert run.result.match_count == workload.expected_matches()
+        assert run.breakdown.total_s == pytest.approx(
+            run.breakdown.partition_s + run.breakdown.join_s + run.breakdown.data_copy_s
+        )
+
+    def test_empty_relations(self):
+        machine = coupled_machine()
+        external = ExternalHashJoin(simple_pair_joiner, machine=machine)
+        run = external.run(Relation.empty("R"), Relation.empty("S"))
+        assert run.result.match_count == 0
+        assert run.fits_in_buffer
+
+    def test_breakdown_as_dict(self):
+        workload = JoinWorkload.uniform(2_000, 2_000, seed=9)
+        external = ExternalHashJoin(simple_pair_joiner, machine=coupled_machine())
+        run = external.run(workload.build, workload.probe)
+        d = run.breakdown.as_dict()
+        assert set(d) == {"partition_s", "join_s", "data_copy_s", "total_s"}
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(ValueError):
+            ExternalHashJoin(simple_pair_joiner, chunk_tuples=0)
+
+    def test_more_chunks_mean_more_copies(self):
+        workload = JoinWorkload.uniform(40_000, 40_000, seed=2)
+        fine = ExternalHashJoin(
+            simple_pair_joiner, machine=small_buffer_machine(64 * 1024), chunk_tuples=5_000
+        ).run(workload.build, workload.probe)
+        coarse = ExternalHashJoin(
+            simple_pair_joiner, machine=small_buffer_machine(64 * 1024), chunk_tuples=40_000
+        ).run(workload.build, workload.probe)
+        assert fine.result.match_count == coarse.result.match_count
+        assert fine.breakdown.data_copy_s >= coarse.breakdown.data_copy_s - 1e-12
+
+
+class TestLatchModel:
+    def test_effective_targets_uniform_is_array_size(self):
+        assert effective_targets(1_000, 0.0) == 1_000
+
+    def test_effective_targets_skew_reduces_targets(self):
+        assert effective_targets(1_000, 0.25) < 1_000
+        assert effective_targets(1_000, 0.25) > 1
+
+    def test_single_element(self):
+        assert effective_targets(1, 0.5) == 1.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            effective_targets(0, 0.1)
+        with pytest.raises(ValueError):
+            effective_targets(10, 1.5)
+
+    def test_gpu_worse_than_cpu_on_single_hot_word(self):
+        gpu = latch_benchmark_time("gpu", 1, 100_000, 0.0)
+        cpu = latch_benchmark_time("cpu", 1, 100_000, 0.0)
+        assert gpu > cpu
+
+    def test_contention_falls_with_more_targets(self):
+        few = latch_benchmark_time("gpu", 1, 100_000, 0.0)
+        many = latch_benchmark_time("gpu", 100_000, 100_000, 0.0)
+        assert many < few
+
+    def test_high_skew_not_slower_beyond_cache(self):
+        uniform = latch_benchmark_time("cpu", 4_000_000, 100_000, 0.0)
+        skewed = latch_benchmark_time("cpu", 4_000_000, 100_000, 0.25)
+        assert skewed <= uniform * 1.02
+
+
+class TestExperimentResultFormatting:
+    def test_empty_result_text(self):
+        result = ExperimentResult("Empty", "no rows yet")
+        assert "(no rows)" in result.to_text()
+        assert "(no rows)" in result.to_markdown()
+
+    def test_missing_columns_padded(self):
+        result = ExperimentResult("X", "ragged rows")
+        result.add_row(a=1)
+        result.add_row(b=2)
+        text = result.to_text()
+        assert "a" in text and "b" in text
+
+    def test_bool_and_int_formatting(self):
+        result = ExperimentResult("X", "types")
+        result.add_row(flag=True, count=3, value=0.125)
+        text = result.to_text()
+        assert "True" in text and "3" in text and "0.125" in text
+
+    def test_parameters_recorded(self):
+        result = ExperimentResult("X", "params", parameters={"n": 5})
+        assert result.parameters["n"] == 5

@@ -1,0 +1,131 @@
+"""Unit tests for repro.data.generator and repro.data.workload."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DatasetSpec,
+    GeneratorError,
+    JoinWorkload,
+    SKEW_PRESETS,
+    build_size_sweep,
+    expected_match_count,
+    generate_build_relation,
+    generate_probe_relation,
+    selectivity_sweep,
+)
+from repro.data.generator import HOT_KEY_DUPLICATES
+
+
+class TestBuildGenerator:
+    def test_uniform_keys_are_unique(self):
+        rel = generate_build_relation(5_000, skew=0.0, seed=1)
+        assert rel.distinct_key_count() == 5_000
+
+    def test_skew_produces_duplicates(self):
+        rel = generate_build_relation(5_000, skew=0.25, seed=1)
+        histogram = rel.key_histogram()
+        max_multiplicity = max(histogram.values())
+        assert max_multiplicity == HOT_KEY_DUPLICATES
+        duplicated_tuples = sum(c for c in histogram.values() if c > 1)
+        assert duplicated_tuples == pytest.approx(0.25 * 5_000, rel=0.05)
+
+    def test_deterministic_for_seed(self):
+        a = generate_build_relation(1_000, seed=3)
+        b = generate_build_relation(1_000, seed=3)
+        assert np.array_equal(a.keys, b.keys)
+
+    def test_different_seeds_differ(self):
+        a = generate_build_relation(1_000, seed=3)
+        b = generate_build_relation(1_000, seed=4)
+        assert not np.array_equal(a.keys, b.keys)
+
+    def test_invalid_skew_rejected(self):
+        with pytest.raises(GeneratorError):
+            generate_build_relation(10, skew=1.5)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(GeneratorError):
+            generate_build_relation(-1)
+
+    def test_zero_tuples(self):
+        rel = generate_build_relation(0)
+        assert rel.is_empty()
+
+
+class TestProbeGenerator:
+    def test_full_selectivity_all_match(self):
+        build = generate_build_relation(2_000, seed=5)
+        probe = generate_probe_relation(build, 3_000, selectivity=1.0, seed=6)
+        build_keys = set(build.keys.tolist())
+        assert all(k in build_keys for k in probe.keys.tolist())
+
+    def test_selectivity_fraction_matches(self):
+        build = generate_build_relation(2_000, seed=5)
+        probe = generate_probe_relation(build, 4_000, selectivity=0.25, seed=6)
+        build_keys = set(build.keys.tolist())
+        matching = sum(1 for k in probe.keys.tolist() if k in build_keys)
+        assert matching == pytest.approx(1_000, abs=2)
+
+    def test_zero_selectivity_no_match(self):
+        build = generate_build_relation(2_000, seed=5)
+        probe = generate_probe_relation(build, 1_000, selectivity=0.0, seed=6)
+        assert expected_match_count(build, probe) == 0
+
+    def test_empty_build_with_matches_rejected(self):
+        from repro.data import Relation
+
+        with pytest.raises(GeneratorError):
+            generate_probe_relation(Relation.empty(), 10, selectivity=1.0)
+
+    def test_invalid_selectivity_rejected(self):
+        build = generate_build_relation(100, seed=5)
+        with pytest.raises(GeneratorError):
+            generate_probe_relation(build, 10, selectivity=2.0)
+
+
+class TestDatasetSpec:
+    def test_paper_default_scaled(self):
+        spec = DatasetSpec.paper_default(scale=0.001)
+        assert spec.build_tuples == 16_000
+        assert spec.probe_tuples == 16_000
+
+    def test_named_skew_presets(self):
+        for name, value in SKEW_PRESETS.items():
+            spec = DatasetSpec.named_skew(name, 100, 100)
+            assert spec.skew == value
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(GeneratorError):
+            DatasetSpec.named_skew("mega-skew", 100, 100)
+
+    def test_generate_returns_requested_sizes(self):
+        build, probe = DatasetSpec(build_tuples=500, probe_tuples=700).generate()
+        assert len(build) == 500
+        assert len(probe) == 700
+
+
+class TestJoinWorkload:
+    def test_uniform_expected_matches_equal_probe_size(self):
+        workload = JoinWorkload.uniform(1_000, 2_000, seed=9)
+        assert workload.expected_matches() == 2_000
+
+    def test_selectivity_controls_matches(self):
+        workload = JoinWorkload.with_selectivity(0.5, 1_000, 2_000, seed=9)
+        assert workload.expected_matches() == pytest.approx(1_000, abs=2)
+
+    def test_build_size_sweep_sizes(self):
+        sweep = build_size_sweep(probe_tuples=1_000, sizes=(100, 200), seed=1)
+        assert [w.build_tuples for w in sweep] == [100, 200]
+        assert all(w.probe_tuples == 1_000 for w in sweep)
+
+    def test_selectivity_sweep(self):
+        sweep = selectivity_sweep(500, 500, (0.125, 1.0), seed=1)
+        assert len(sweep) == 2
+        assert sweep[0].spec.selectivity == 0.125
+
+    def test_total_bytes(self):
+        workload = JoinWorkload.uniform(100, 200, seed=1)
+        assert workload.total_bytes == (100 + 200) * 8

@@ -1,0 +1,216 @@
+"""Unit tests for the hardware simulation layer (specs, device, cache, bus)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware import (
+    APU_CPU,
+    APU_GPU,
+    CacheSpec,
+    DeviceModel,
+    DeviceSpec,
+    MemoryEnvironment,
+    PCIeBus,
+    PCIeSpec,
+    SetAssociativeCache,
+    SpecError,
+    CacheModel,
+    WorkProfile,
+    WorkStats,
+    WorkingSet,
+    table1_rows,
+)
+
+
+class TestSpecs:
+    def test_table1_matches_paper(self):
+        rows = {row["metric"]: row for row in table1_rows()}
+        assert rows["# Cores"]["CPU (APU)"] == 4
+        assert rows["# Cores"]["GPU (APU)"] == 400
+        assert rows["# Cores"]["GPU (Discrete)"] == 2048
+        assert rows["Core frequency (GHz)"]["CPU (APU)"] == 3.0
+        assert rows["Core frequency (GHz)"]["GPU (APU)"] == 0.6
+        assert rows["Zero copy buffer (MB)"]["CPU (APU)"] == 512
+        assert rows["Cache size (MB)"]["CPU (APU)"] == 4
+        assert rows["Local memory size (KB)"]["GPU (APU)"] == 32
+
+    def test_instruction_throughput(self):
+        assert APU_CPU.instruction_throughput == pytest.approx(12e9)
+        assert APU_GPU.instruction_throughput == pytest.approx(240e9)
+
+    def test_invalid_device_kind_rejected(self):
+        with pytest.raises(SpecError):
+            DeviceSpec(
+                name="x", kind="tpu", cores=1, clock_ghz=1.0, ipc=1.0, wavefront_width=1,
+                local_memory_bytes=1, dram_random_access_s=1e-9, cache_hit_access_s=1e-9,
+                sequential_bandwidth=1e9, atomic_global_s=1e-9, atomic_local_s=1e-9,
+                divergence_penalty=0.0, atomic_contention_factor=1.0,
+            )
+
+    def test_cache_spec_validation(self):
+        with pytest.raises(SpecError):
+            CacheSpec(size_bytes=100, line_bytes=64)
+        spec = CacheSpec(size_bytes=4 * 1024 * 1024)
+        assert spec.n_lines == spec.size_bytes // spec.line_bytes
+        assert spec.n_sets == spec.n_lines // spec.associativity
+
+    def test_scaled_override(self):
+        faster = APU_CPU.scaled(clock_ghz=4.0)
+        assert faster.clock_ghz == 4.0
+        assert faster.cores == APU_CPU.cores
+
+
+class TestDeviceModel:
+    def test_gpu_faster_on_compute(self):
+        stats = WorkStats(tuples=1000, instructions=1000 * 180.0)
+        cpu = DeviceModel(APU_CPU).elapsed_seconds(stats)
+        gpu = DeviceModel(APU_GPU).elapsed_seconds(stats)
+        assert gpu < cpu / 10.0
+
+    def test_random_access_cost_similar_across_devices(self):
+        stats = WorkStats(tuples=1000, random_accesses=1000.0)
+        env = MemoryEnvironment(miss_ratio=1.0)
+        cpu = DeviceModel(APU_CPU).elapsed_seconds(stats, env)
+        gpu = DeviceModel(APU_GPU).elapsed_seconds(stats, env)
+        assert 0.5 < cpu / gpu < 2.0
+
+    def test_miss_ratio_increases_time(self):
+        stats = WorkStats(tuples=1000, random_accesses=1000.0)
+        model = DeviceModel(APU_CPU)
+        hit = model.elapsed_seconds(stats, MemoryEnvironment(miss_ratio=0.0))
+        miss = model.elapsed_seconds(stats, MemoryEnvironment(miss_ratio=1.0))
+        assert miss > hit
+
+    def test_divergence_penalises_gpu_not_cpu(self):
+        uniform = WorkStats(tuples=1000, instructions=1e5, divergence=0.0)
+        divergent = WorkStats(tuples=1000, instructions=1e5, divergence=0.8)
+        gpu = DeviceModel(APU_GPU)
+        cpu = DeviceModel(APU_CPU)
+        assert gpu.elapsed_seconds(divergent) > gpu.elapsed_seconds(uniform)
+        cpu_penalty = cpu.elapsed_seconds(divergent) / cpu.elapsed_seconds(uniform)
+        assert cpu_penalty == pytest.approx(1.0, abs=1e-9)
+
+    def test_atomic_contention_increases_time(self):
+        calm = WorkStats(tuples=1000, global_atomics=1000.0, atomic_conflict_ratio=0.0)
+        contended = WorkStats(tuples=1000, global_atomics=1000.0, atomic_conflict_ratio=1.0)
+        model = DeviceModel(APU_GPU)
+        assert model.elapsed_seconds(contended) > model.elapsed_seconds(calm)
+
+    def test_estimated_excludes_atomics(self):
+        profile = WorkProfile(instructions_per_tuple=100.0, global_atomics_per_tuple=1.0)
+        model = DeviceModel(APU_GPU)
+        estimated = model.estimated_time(profile, 1000)
+        measured = model.elapsed_seconds(profile.stats_for(1000))
+        assert estimated < measured
+
+    def test_unit_cost_scales_linearly(self):
+        profile = WorkProfile(instructions_per_tuple=50.0, random_accesses_per_tuple=1.0)
+        model = DeviceModel(APU_CPU)
+        unit = model.unit_cost(profile)
+        assert model.estimated_time(profile, 1000) == pytest.approx(unit * 1000, rel=1e-9)
+
+    def test_invalid_miss_ratio_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryEnvironment(miss_ratio=1.5)
+
+
+class TestCacheModel:
+    def test_fits_in_cache_low_miss(self):
+        model = CacheModel(CacheSpec(size_bytes=4 * 1024 * 1024))
+        assert model.miss_ratio(1024 * 1024) == pytest.approx(0.02)
+
+    def test_exceeds_cache_high_miss(self):
+        model = CacheModel(CacheSpec(size_bytes=4 * 1024 * 1024))
+        assert model.miss_ratio(400 * 1024 * 1024) > 0.9
+
+    def test_partition_fraction_raises_miss(self):
+        model = CacheModel(CacheSpec(size_bytes=4 * 1024 * 1024))
+        shared = model.miss_ratio(8 * 1024 * 1024, partition_fraction=1.0)
+        halved = model.miss_ratio(8 * 1024 * 1024, partition_fraction=0.5)
+        assert halved > shared
+
+    def test_record_accesses_accumulates(self):
+        model = CacheModel(CacheSpec(size_bytes=1024 * 1024))
+        model.record_accesses(1000, 0.25)
+        assert model.stats.accesses == 1000
+        assert model.stats.misses == 250
+        assert model.stats.miss_ratio == pytest.approx(0.25)
+
+    def test_working_set_partition_fraction(self):
+        shared_ws = WorkingSet(bytes=1024, shared_between_devices=True)
+        private_ws = WorkingSet(bytes=1024, shared_between_devices=False)
+        assert shared_ws.partition_fraction(machine_shares_cache=True) == 1.0
+        assert private_ws.partition_fraction(machine_shares_cache=True) == 0.5
+        assert shared_ws.partition_fraction(machine_shares_cache=False) == 0.5
+
+
+class TestSetAssociativeCache:
+    def test_repeated_access_hits(self):
+        cache = SetAssociativeCache(CacheSpec(size_bytes=64 * 1024))
+        assert cache.access(0) is False
+        assert cache.access(0) is True
+        assert cache.access(8) is True  # same line
+
+    def test_capacity_eviction(self):
+        spec = CacheSpec(size_bytes=4 * 1024, line_bytes=64, associativity=2)
+        cache = SetAssociativeCache(spec)
+        # Touch far more lines than the cache holds, then re-touch the first.
+        for address in range(0, 64 * 1024, 64):
+            cache.access(address)
+        assert cache.access(0) is False
+
+    def test_lru_order(self):
+        spec = CacheSpec(size_bytes=2 * 64 * 4, line_bytes=64, associativity=2)
+        cache = SetAssociativeCache(spec)
+        n_sets = spec.n_sets
+        a, b, c = 0, n_sets * 64, 2 * n_sets * 64  # same set
+        cache.access(a)
+        cache.access(b)
+        cache.access(a)  # a is now most recent
+        cache.access(c)  # evicts b
+        assert cache.access(a) is True
+        assert cache.access(b) is False
+
+    def test_access_range_counts_lines(self):
+        cache = SetAssociativeCache(CacheSpec(size_bytes=64 * 1024))
+        misses = cache.access_range(0, 640)
+        assert misses == 10
+
+    def test_miss_ratio_agrees_with_analytical_model_for_large_working_set(self):
+        spec = CacheSpec(size_bytes=8 * 1024, line_bytes=64, associativity=4)
+        simulator = SetAssociativeCache(spec)
+        model = CacheModel(spec)
+        working_set = 64 * 1024
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        for address in rng.integers(0, working_set, size=5000):
+            simulator.access(int(address))
+        assert abs(simulator.stats.miss_ratio - model.miss_ratio(working_set)) < 0.15
+
+
+class TestPCIeBus:
+    def test_transfer_time_formula(self):
+        bus = PCIeBus(PCIeSpec(latency_s=0.015e-3, bandwidth_bytes_per_s=3 * 2**30))
+        size = 3 * 2**30
+        assert bus.transfer_time(size) == pytest.approx(0.015e-3 + 1.0)
+
+    def test_zero_bytes_is_free(self):
+        bus = PCIeBus()
+        assert bus.transfer_time(0) == 0.0
+
+    def test_accounting(self):
+        bus = PCIeBus()
+        bus.transfer(1024, PCIeBus.HOST_TO_DEVICE, label="in")
+        bus.transfer(2048, PCIeBus.DEVICE_TO_HOST, label="out")
+        assert bus.total_bytes == 3072
+        assert len(bus.transfers) == 2
+        directions = bus.seconds_by_direction()
+        assert directions["h2d"] > 0 and directions["d2h"] > 0
+        bus.reset()
+        assert bus.total_seconds == 0.0
+
+    def test_invalid_direction_rejected(self):
+        with pytest.raises(ValueError):
+            PCIeBus().transfer(10, "sideways")

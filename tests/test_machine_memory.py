@@ -1,0 +1,152 @@
+"""Tests for the machine model, memory spaces and work-stats containers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware import (
+    CPU,
+    GPU,
+    MemorySpace,
+    MemorySystem,
+    OutOfMemoryError,
+    TimeBreakdown,
+    WorkProfile,
+    WorkStats,
+    WorkingSet,
+    ZeroCopyBuffer,
+    coupled_machine,
+    discrete_machine,
+)
+
+
+class TestWorkStats:
+    def test_addition_sums_extensive_quantities(self):
+        a = WorkStats(tuples=10, instructions=100.0, random_accesses=5.0, divergence=0.2)
+        b = WorkStats(tuples=30, instructions=300.0, random_accesses=15.0, divergence=0.6)
+        total = a + b
+        assert total.tuples == 40
+        assert total.instructions == 400.0
+        assert total.random_accesses == 20.0
+        # Divergence is averaged weighted by tuples.
+        assert total.divergence == pytest.approx((0.2 * 10 + 0.6 * 30) / 40)
+
+    def test_scaled(self):
+        stats = WorkStats(tuples=10, instructions=100.0, global_atomics=10.0, divergence=0.5)
+        half = stats.scaled(0.5)
+        assert half.tuples == 5
+        assert half.instructions == 50.0
+        assert half.divergence == 0.5
+
+    def test_scaled_rejects_negative(self):
+        with pytest.raises(ValueError):
+            WorkStats(tuples=1).scaled(-1.0)
+
+    def test_profile_round_trip(self):
+        profile = WorkProfile(
+            instructions_per_tuple=10.0, random_accesses_per_tuple=2.0, divergence=0.3
+        )
+        stats = profile.stats_for(100)
+        back = WorkProfile.from_stats(stats)
+        assert back.instructions_per_tuple == pytest.approx(10.0)
+        assert back.random_accesses_per_tuple == pytest.approx(2.0)
+
+    def test_is_empty(self):
+        assert WorkStats().is_empty()
+        assert not WorkStats(tuples=1, instructions=1.0).is_empty()
+
+
+class TestTimeBreakdown:
+    def test_total_sums_components(self):
+        t = TimeBreakdown(compute_s=1.0, memory_s=2.0, atomic_s=0.5, divergence_s=0.25,
+                          pipeline_delay_s=0.25, transfer_s=1.0)
+        assert t.total_s == pytest.approx(5.0)
+
+    def test_addition(self):
+        a = TimeBreakdown(compute_s=1.0)
+        b = TimeBreakdown(memory_s=2.0)
+        assert (a + b).total_s == pytest.approx(3.0)
+
+    def test_as_dict_has_total(self):
+        assert TimeBreakdown(compute_s=1.0).as_dict()["total_s"] == 1.0
+
+
+class TestMemorySpaces:
+    def test_allocate_and_release(self):
+        space = MemorySpace("test", capacity_bytes=1000)
+        allocation = space.allocate("a", 400)
+        assert allocation.offset == 0
+        assert space.used_bytes == 400
+        space.release("a")
+        assert space.used_bytes == 0
+
+    def test_out_of_memory(self):
+        space = MemorySpace("test", capacity_bytes=100)
+        space.allocate("a", 80)
+        with pytest.raises(OutOfMemoryError):
+            space.allocate("b", 40)
+
+    def test_duplicate_label_rejected(self):
+        space = MemorySpace("test", capacity_bytes=100)
+        space.allocate("a", 10)
+        with pytest.raises(ValueError):
+            space.allocate("a", 10)
+
+    def test_release_unknown_label(self):
+        with pytest.raises(KeyError):
+            MemorySpace("test", capacity_bytes=10).release("missing")
+
+    def test_zero_copy_can_hold_join(self):
+        buffer = ZeroCopyBuffer(capacity_bytes=1000)
+        assert buffer.can_hold_join(200, 200, overhead_factor=2.0)
+        assert not buffer.can_hold_join(400, 400, overhead_factor=2.0)
+
+    def test_memory_system_copy_time(self):
+        system = MemorySystem(
+            zero_copy=ZeroCopyBuffer(1000),
+            system_memory=MemorySpace("sys", 10_000),
+            copy_bandwidth_bytes_per_s=1000.0,
+        )
+        assert system.copy_time(500) == pytest.approx(0.5)
+        assert system.copied_bytes == 500
+        system.reset()
+        assert system.copied_bytes == 0
+
+
+class TestMachine:
+    def test_coupled_has_no_bus(self, coupled):
+        assert coupled.is_coupled
+        assert coupled.transfer_seconds(1 << 20, "h2d") == 0.0
+
+    def test_discrete_charges_transfers(self, discrete):
+        assert not discrete.is_coupled
+        assert discrete.transfer_seconds(1 << 20, "h2d") > 0.0
+        assert discrete.bus is not None and discrete.bus.total_bytes == 1 << 20
+
+    def test_device_model_lookup(self, coupled):
+        assert coupled.device_model(CPU).spec.kind == "cpu"
+        assert coupled.device_model(GPU).spec.kind == "gpu"
+        with pytest.raises(ValueError):
+            coupled.device_model("npu")
+
+    def test_memory_environment_uses_cache_model(self, coupled):
+        small = coupled.memory_environment(WorkingSet(bytes=1024.0))
+        huge = coupled.memory_environment(WorkingSet(bytes=1e9))
+        assert small.miss_ratio < huge.miss_ratio
+        assert coupled.memory_environment(None).miss_ratio == 1.0
+
+    def test_step_time_records_cache_accesses(self, coupled):
+        stats = WorkStats(tuples=10, random_accesses=100.0)
+        coupled.step_time(CPU, stats, WorkingSet(bytes=1e9))
+        assert coupled.cache.stats.accesses == 100
+
+    def test_reset_counters(self, discrete):
+        discrete.transfer_seconds(1024, "h2d")
+        discrete.step_time(CPU, WorkStats(tuples=1, random_accesses=10.0), WorkingSet(bytes=1e9))
+        discrete.reset_counters()
+        assert discrete.bus.total_bytes == 0
+        assert discrete.cache.stats.accesses == 0
+
+    def test_shared_cache_flag_differs(self):
+        assert coupled_machine().spec.shared_cache is True
+        assert discrete_machine().spec.shared_cache is False

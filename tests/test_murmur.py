@@ -1,0 +1,76 @@
+"""Unit tests for the MurmurHash2 implementation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hashjoin import bucket_of, murmur2, murmur2_scalar, radix_of
+
+
+class TestScalarHash:
+    def test_deterministic(self):
+        assert murmur2_scalar(12345) == murmur2_scalar(12345)
+
+    def test_different_keys_differ(self):
+        values = {murmur2_scalar(k) for k in range(100)}
+        assert len(values) == 100
+
+    def test_seed_changes_hash(self):
+        assert murmur2_scalar(42, seed=1) != murmur2_scalar(42, seed=2)
+
+    def test_fits_32_bits(self):
+        for key in (0, 1, 2**31, 2**32 - 1):
+            assert 0 <= murmur2_scalar(key) < 2**32
+
+
+class TestVectorizedHash:
+    def test_matches_scalar(self):
+        keys = np.array([0, 1, 7, 1024, 2**31 - 1, 2**32 - 1], dtype=np.int64)
+        vectorised = murmur2(keys)
+        scalar = np.array([murmur2_scalar(int(k)) for k in keys], dtype=np.uint64)
+        assert np.array_equal(vectorised, scalar)
+
+    def test_large_batch_no_collision_explosion(self):
+        keys = np.arange(100_000, dtype=np.int64)
+        hashes = murmur2(keys)
+        # MurmurHash2 should have essentially no collisions on distinct keys
+        # in a small dense range.
+        assert np.unique(hashes).shape[0] >= 99_990
+
+    def test_avalanche_spreads_buckets(self):
+        keys = np.arange(64_000, dtype=np.int64)
+        buckets = bucket_of(keys, 64)
+        counts = np.bincount(buckets, minlength=64)
+        assert counts.min() > 0
+        assert counts.max() < 2.0 * counts.mean()
+
+
+class TestBucketOf:
+    def test_range(self):
+        buckets = bucket_of(np.arange(1_000), 32)
+        assert buckets.min() >= 0
+        assert buckets.max() < 32
+
+    def test_rejects_non_positive_bucket_count(self):
+        with pytest.raises(ValueError):
+            bucket_of(np.arange(4), 0)
+
+
+class TestRadixOf:
+    def test_range(self):
+        digits = radix_of(np.arange(1_000), bits=4)
+        assert digits.min() >= 0
+        assert digits.max() < 16
+
+    def test_passes_use_different_bits(self):
+        keys = np.arange(10_000)
+        first = radix_of(keys, bits=6, pass_index=0)
+        second = radix_of(keys, bits=6, pass_index=1)
+        assert not np.array_equal(first, second)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            radix_of(np.arange(4), bits=0)
+        with pytest.raises(ValueError):
+            radix_of(np.arange(4), bits=4, pass_index=-1)

@@ -1,0 +1,264 @@
+"""Tests for the OpenCL-style abstraction: NDRange, wavefronts, atomics,
+allocators, logical memory and the kernel launcher."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hardware import WorkStats
+from repro.opencl import (
+    AMD_WAVEFRONT_WIDTH,
+    Arena,
+    ArenaExhaustedError,
+    AtomicCounter,
+    BasicAllocator,
+    BlockAllocator,
+    GlobalBuffer,
+    Kernel,
+    Latch,
+    LatchTable,
+    LocalBuffer,
+    LocalMemoryExceededError,
+    NDRange,
+    NDRangeError,
+    WorkItemId,
+    WorkItemReport,
+    concurrent_hardware_threads,
+    contention_ratio,
+    divergence_factor,
+    grouped_divergence,
+    make_allocator,
+    wavefront_divergence,
+)
+
+
+class TestNDRange:
+    def test_work_group_count(self):
+        ndrange = NDRange(global_size=1000, local_size=256)
+        assert ndrange.n_work_groups == 4
+
+    def test_work_groups_cover_range(self):
+        ndrange = NDRange(global_size=10, local_size=4)
+        ids = [i for group in ndrange.work_groups() for i in group]
+        assert ids == list(range(10))
+
+    def test_wavefronts_do_not_span_groups(self):
+        ndrange = NDRange(global_size=100, local_size=48)
+        sizes = [len(w) for w in ndrange.wavefronts(width=64)]
+        assert sizes == [48, 48, 4]
+
+    def test_for_device_defaults(self):
+        assert NDRange.for_device(100, "cpu").local_size == 1
+        assert NDRange.for_device(100, "gpu").local_size == 256
+        with pytest.raises(NDRangeError):
+            NDRange.for_device(10, "fpga")
+
+    def test_work_item_id(self):
+        ndrange = NDRange(global_size=100, local_size=32)
+        item = WorkItemId.from_global(70, ndrange)
+        assert item.group_id == 2
+        assert item.local_id == 6
+
+    def test_invalid_sizes(self):
+        with pytest.raises(NDRangeError):
+            NDRange(global_size=-1, local_size=4)
+        with pytest.raises(NDRangeError):
+            NDRange(global_size=4, local_size=0)
+
+
+class TestWavefrontDivergence:
+    def test_uniform_work_has_no_divergence(self):
+        report = wavefront_divergence(np.ones(256))
+        assert report.divergence == pytest.approx(0.0)
+
+    def test_single_hot_item_creates_divergence(self):
+        workloads = np.ones(64)
+        workloads[0] = 64.0
+        report = wavefront_divergence(workloads)
+        assert report.divergence > 0.9
+
+    def test_grouping_reduces_divergence(self):
+        rng = np.random.default_rng(1)
+        workloads = rng.choice([1.0, 50.0], size=4096, p=[0.9, 0.1])
+        ungrouped = wavefront_divergence(workloads).divergence
+        grouped, order = grouped_divergence(workloads, n_groups=32)
+        assert grouped.divergence < ungrouped
+        assert sorted(order.tolist()) == list(range(4096))
+
+    def test_divergence_factor_wrapper(self):
+        workloads = np.concatenate([np.ones(512), np.full(64, 30.0)])
+        assert divergence_factor(workloads, grouped=True) <= divergence_factor(workloads)
+
+    def test_empty_input(self):
+        assert wavefront_divergence(np.array([])).divergence == 0.0
+
+    def test_slowdown_at_least_one(self):
+        report = wavefront_divergence(np.arange(1, 200, dtype=float))
+        assert report.slowdown >= 1.0
+
+
+class TestAtomics:
+    def test_atomic_counter_returns_previous(self):
+        counter = AtomicCounter(5)
+        assert counter.add(3) == 5
+        assert counter.load() == 8
+        assert counter.stats.global_ops == 1
+
+    def test_latch_context_manager(self):
+        latch = Latch()
+        with latch:
+            assert latch.held
+        assert not latch.held
+        assert latch.acquisitions == 1
+
+    def test_latch_misuse(self):
+        latch = Latch()
+        with pytest.raises(RuntimeError):
+            latch.release()
+
+    def test_latch_table_uniform_low_conflict(self):
+        table = LatchTable(n_latches=1024)
+        for i in range(1024):
+            table.acquire_release(i)
+        assert table.conflict_ratio(256) < 0.3
+
+    def test_latch_table_hot_latch_high_conflict(self):
+        table = LatchTable(n_latches=1024)
+        for _ in range(1024):
+            table.acquire_release(7)
+        assert table.conflict_ratio(8192) > 0.9
+
+    def test_contention_ratio_monotone_in_threads(self):
+        low = contention_ratio(2, 1)
+        high = contention_ratio(8192, 1)
+        assert high > low
+        assert 0.0 <= low <= 1.0 and 0.0 <= high <= 1.0
+
+    def test_contention_ratio_monotone_in_targets(self):
+        few = contention_ratio(1000, 1)
+        many = contention_ratio(1000, 100_000)
+        assert few > many
+
+    def test_single_thread_no_contention(self):
+        assert contention_ratio(1, 1) == 0.0
+
+    def test_concurrent_hardware_threads(self):
+        assert concurrent_hardware_threads("gpu") > concurrent_hardware_threads("cpu")
+        with pytest.raises(ValueError):
+            concurrent_hardware_threads("dsp")
+
+
+class TestAllocators:
+    def test_basic_allocator_one_global_atomic_per_request(self):
+        allocator = BasicAllocator(Arena(1 << 20))
+        for _ in range(10):
+            allocator.allocate(16)
+        assert allocator.stats.requests == 10
+        assert allocator.stats.global_atomics == 10
+        assert allocator.stats.local_atomics == 0
+
+    def test_block_allocator_amortises_global_atomics(self):
+        allocator = BlockAllocator(Arena(1 << 20), block_bytes=256)
+        for i in range(64):
+            allocator.allocate(16, group_id=0)
+        # 64 requests of 16 bytes = 1024 bytes = 4 blocks of 256.
+        assert allocator.stats.global_atomics == 4
+        assert allocator.stats.local_atomics == 64
+
+    def test_block_allocator_separate_groups_use_separate_blocks(self):
+        allocator = BlockAllocator(Arena(1 << 20), block_bytes=256)
+        allocator.allocate(16, group_id=0)
+        allocator.allocate(16, group_id=1)
+        assert allocator.stats.blocks_grabbed == 2
+
+    def test_oversized_request_bypasses_block(self):
+        allocator = BlockAllocator(Arena(1 << 20), block_bytes=64)
+        offset = allocator.allocate(1024, group_id=0)
+        assert offset == 0
+        assert allocator.stats.global_atomics == 1
+
+    def test_allocations_do_not_overlap(self):
+        allocator = BlockAllocator(Arena(1 << 16), block_bytes=128)
+        seen = set()
+        for i in range(100):
+            offset = allocator.allocate(8, group_id=i % 4)
+            assert offset not in seen
+            seen.add(offset)
+
+    def test_arena_exhaustion(self):
+        allocator = BasicAllocator(Arena(64))
+        allocator.allocate(48)
+        with pytest.raises(ArenaExhaustedError):
+            allocator.allocate(32)
+
+    def test_bulk_allocate_matches_per_request_accounting(self):
+        per_request = BlockAllocator(Arena(1 << 20), block_bytes=2048)
+        for _ in range(256):
+            per_request.allocate(8, group_id=0)
+        bulk = BlockAllocator(Arena(1 << 20), block_bytes=2048)
+        bulk.bulk_allocate(256, 8, n_groups=1)
+        assert bulk.stats.requests == per_request.stats.requests
+        assert bulk.stats.local_atomics == per_request.stats.local_atomics
+        assert abs(bulk.stats.global_atomics - per_request.stats.global_atomics) <= 1
+
+    def test_conflict_ratio_falls_with_block_size(self):
+        small = make_allocator("block", block_bytes=8)
+        large = make_allocator("block", block_bytes=32768)
+        assert large.conflict_ratio("gpu", 8) < small.conflict_ratio("gpu", 8)
+
+    def test_basic_has_higher_conflict_than_block(self):
+        basic = make_allocator("basic")
+        block = make_allocator("block", block_bytes=2048)
+        assert basic.conflict_ratio("gpu", 8) > block.conflict_ratio("gpu", 8)
+
+    def test_make_allocator_unknown_kind(self):
+        with pytest.raises(ValueError):
+            make_allocator("slab")
+
+
+class TestLogicalMemory:
+    def test_global_buffer_read_write(self):
+        buffer = GlobalBuffer(16)
+        buffer.write(3, 42)
+        assert buffer.read(3) == 42
+        assert buffer.counters.total == 2
+
+    def test_global_buffer_bulk_ops(self):
+        buffer = GlobalBuffer(8)
+        buffer.bulk_write(np.array([0, 1]), np.array([7, 9]))
+        assert buffer.bulk_read(np.array([0, 1])).tolist() == [7, 9]
+
+    def test_local_buffer_capacity_enforced(self):
+        with pytest.raises(LocalMemoryExceededError):
+            LocalBuffer(n_items=10_000, item_bytes=8, capacity_bytes=32 * 1024)
+        ok = LocalBuffer(n_items=128)
+        ok.write(0, 5)
+        assert ok.read(0) == 5
+
+
+class TestKernel:
+    def test_launch_aggregates_stats(self):
+        def body(item: WorkItemId, args: dict) -> WorkItemReport:
+            return WorkItemReport(instructions=10.0, random_accesses=1.0)
+
+        kernel = Kernel("uniform", body)
+        launch = kernel.launch(NDRange(global_size=100, local_size=32))
+        assert launch.stats.tuples == 100
+        assert launch.stats.instructions == pytest.approx(1000.0)
+        assert launch.stats.random_accesses == pytest.approx(100.0)
+        assert launch.stats.divergence == pytest.approx(0.0)
+
+    def test_launch_detects_divergence(self):
+        def body(item: WorkItemId, args: dict) -> WorkItemReport:
+            heavy = item.global_id % 64 == 0
+            return WorkItemReport(instructions=100.0 if heavy else 1.0)
+
+        kernel = Kernel("divergent", body)
+        launch = kernel.launch(NDRange(global_size=640, local_size=256))
+        assert launch.stats.divergence > 0.5
+
+    def test_keep_reports(self):
+        kernel = Kernel("noop", lambda item, args: WorkItemReport())
+        launch = kernel.launch(NDRange(global_size=5, local_size=5), keep_reports=True)
+        assert len(launch.reports) == 5

@@ -1,0 +1,105 @@
+"""Unit tests for repro.data.relation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import Relation, RelationError, TUPLE_BYTES
+
+
+def make_relation(n: int = 10) -> Relation:
+    return Relation(keys=np.arange(n) * 3, rids=np.arange(n), name="R")
+
+
+class TestConstruction:
+    def test_basic_lengths(self):
+        rel = make_relation(10)
+        assert len(rel) == 10
+        assert rel.cardinality == 10
+        assert rel.nbytes == 10 * TUPLE_BYTES
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(RelationError):
+            Relation(keys=np.arange(5), rids=np.arange(4))
+
+    def test_two_dimensional_rejected(self):
+        with pytest.raises(RelationError):
+            Relation(keys=np.ones((2, 2)), rids=np.ones((2, 2)))
+
+    def test_from_keys_assigns_sequential_rids(self):
+        rel = Relation.from_keys(np.array([5, 7, 9]))
+        assert rel.rids.tolist() == [0, 1, 2]
+
+    def test_empty(self):
+        rel = Relation.empty()
+        assert rel.is_empty()
+        assert len(rel) == 0
+
+    def test_dtype_coercion_to_int64(self):
+        rel = Relation(keys=np.array([1, 2], dtype=np.int32), rids=np.array([0, 1], dtype=np.int16))
+        assert rel.keys.dtype == np.int64
+        assert rel.rids.dtype == np.int64
+
+
+class TestSlicing:
+    def test_slice_returns_range(self):
+        rel = make_relation(10)
+        part = rel.slice(2, 5)
+        assert part.keys.tolist() == [6, 9, 12]
+        assert part.rids.tolist() == [2, 3, 4]
+
+    def test_take(self):
+        rel = make_relation(10)
+        part = rel.take(np.array([0, 9]))
+        assert part.rids.tolist() == [0, 9]
+
+    def test_split_by_ratio_partitions_everything(self):
+        rel = make_relation(10)
+        left, right = rel.split_by_ratio(0.3)
+        assert len(left) == 3
+        assert len(right) == 7
+        assert np.array_equal(np.concatenate([left.keys, right.keys]), rel.keys)
+
+    @pytest.mark.parametrize("ratio", [0.0, 1.0])
+    def test_split_by_ratio_extremes(self, ratio):
+        rel = make_relation(10)
+        left, right = rel.split_by_ratio(ratio)
+        assert len(left) + len(right) == 10
+        assert len(left) == int(round(10 * ratio))
+
+    def test_split_by_ratio_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            make_relation().split_by_ratio(1.5)
+
+    def test_split_chunks_covers_relation(self):
+        rel = make_relation(10)
+        chunks = rel.split_chunks(3)
+        assert [len(c) for c in chunks] == [3, 3, 3, 1]
+        assert np.array_equal(np.concatenate([c.rids for c in chunks]), rel.rids)
+
+    def test_split_chunks_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            make_relation().split_chunks(0)
+
+    def test_concat_preserves_order(self):
+        a, b = make_relation(3), make_relation(2)
+        merged = Relation.concat([a, b])
+        assert len(merged) == 5
+        assert merged.keys[:3].tolist() == a.keys.tolist()
+
+
+class TestStatistics:
+    def test_distinct_and_duplicates(self):
+        rel = Relation(keys=np.array([1, 1, 2, 3]), rids=np.arange(4))
+        assert rel.distinct_key_count() == 3
+        assert rel.average_duplicates_per_key() == pytest.approx(4 / 3)
+
+    def test_key_histogram(self):
+        rel = Relation(keys=np.array([1, 1, 2]), rids=np.arange(3))
+        assert rel.key_histogram() == {1: 2, 2: 1}
+
+    def test_empty_statistics(self):
+        rel = Relation.empty()
+        assert rel.distinct_key_count() == 0
+        assert rel.average_duplicates_per_key() == 0.0

@@ -1,0 +1,165 @@
+"""Tests for step accounting, the grouping decision helper and join results."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hashjoin import (
+    BUILD_STEPS,
+    JoinResult,
+    PARTITION_STEPS,
+    PROBE_STEPS,
+    evaluate_grouping,
+    evaluate_step_grouping,
+    step_by_name,
+    tune_group_count,
+)
+from repro.hashjoin.steps import PerTupleWork, StepExecution, StepSeries
+
+
+class TestStepDefinitions:
+    def test_catalogue_names(self):
+        assert [s.name for s in BUILD_STEPS] == ["b1", "b2", "b3", "b4"]
+        assert [s.name for s in PROBE_STEPS] == ["p1", "p2", "p3", "p4"]
+        assert [s.name for s in PARTITION_STEPS] == ["n1", "n2", "n3"]
+
+    def test_step_by_name(self):
+        assert step_by_name("p3").phase == "probe"
+        with pytest.raises(KeyError):
+            step_by_name("q7")
+
+
+class TestPerTupleWork:
+    def test_scalar_and_array_quantities_agree(self):
+        scalar = PerTupleWork(n_tuples=100, instructions=5.0)
+        array = PerTupleWork(n_tuples=100, instructions=np.full(100, 5.0))
+        assert scalar.total_stats().instructions == pytest.approx(
+            array.total_stats().instructions
+        )
+
+    def test_range_selects_subset(self):
+        work = PerTupleWork(n_tuples=10, instructions=np.arange(10, dtype=float))
+        stats = work.stats_for_range(2, 5)
+        assert stats.tuples == 3
+        assert stats.instructions == pytest.approx(2 + 3 + 4)
+
+    def test_out_of_bounds_clamped(self):
+        work = PerTupleWork(n_tuples=5, instructions=1.0)
+        assert work.stats_for_range(-5, 50).tuples == 5
+        assert work.stats_for_range(4, 2).tuples == 0
+
+    def test_grouped_reduces_divergence(self):
+        values = np.ones(256)
+        values[::64] = 100.0
+        work = PerTupleWork(n_tuples=256, instructions=values)
+        assert (work.total_stats(grouped=True).divergence
+                < work.total_stats(grouped=False).divergence)
+
+    def test_average_profile(self):
+        work = PerTupleWork(n_tuples=4, instructions=np.array([1.0, 2.0, 3.0, 4.0]),
+                            random_accesses=2.0)
+        profile = work.average_profile()
+        assert profile.instructions_per_tuple == pytest.approx(2.5)
+        assert profile.random_accesses_per_tuple == pytest.approx(2.0)
+
+    def test_mismatched_array_length_rejected(self):
+        work = PerTupleWork(n_tuples=5, instructions=np.ones(3))
+        with pytest.raises(ValueError):
+            work.total_stats()
+
+    def test_conflict_ratio_passthrough(self):
+        work = PerTupleWork(n_tuples=10, instructions=1.0, global_atomics=1.0)
+        stats = work.total_stats(conflict_ratio=0.7)
+        assert stats.atomic_conflict_ratio == 0.7
+
+
+class TestStepSeries:
+    def _execution(self, name: str, n: int) -> StepExecution:
+        return StepExecution(step=step_by_name(name), work=PerTupleWork(n_tuples=n, instructions=1.0))
+
+    def test_series_requires_consistent_lengths(self):
+        with pytest.raises(ValueError):
+            StepSeries(phase="build", executions=[self._execution("b1", 5),
+                                                  self._execution("b2", 6)])
+
+    def test_series_accessors(self):
+        series = StepSeries(phase="build", executions=[self._execution("b1", 5),
+                                                       self._execution("b2", 5)])
+        assert series.n_steps == 2
+        assert series.n_tuples == 5
+        assert series.step_names == ["b1", "b2"]
+        assert series[1].step.name == "b2"
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            StepSeries(phase="build", executions=[])
+
+    def test_conflict_lookup_by_device(self):
+        execution = StepExecution(
+            step=step_by_name("b2"),
+            work=PerTupleWork(n_tuples=5, instructions=1.0),
+            conflict_ratio={"cpu": 0.1, "gpu": 0.6},
+        )
+        assert execution.conflict_for("gpu") == 0.6
+        assert execution.conflict_for("cpu") == 0.1
+        assert execution.conflict_for("npu") == 0.0
+
+
+class TestGroupingDecision:
+    def test_skewed_work_worth_grouping(self):
+        values = np.ones(4096)
+        values[::16] = 200.0
+        work = PerTupleWork(n_tuples=4096, instructions=values)
+        decision = evaluate_grouping(work)
+        assert decision.divergence_grouped < decision.divergence_ungrouped
+        assert decision.worthwhile
+
+    def test_uniform_work_not_worth_grouping(self):
+        work = PerTupleWork(n_tuples=1024, instructions=10.0)
+        decision = evaluate_grouping(work)
+        assert decision.divergence_reduction == pytest.approx(0.0)
+        assert not decision.worthwhile
+
+    def test_empty_work(self):
+        decision = evaluate_grouping(PerTupleWork(n_tuples=0))
+        assert decision.divergence_ungrouped == 0.0
+
+    def test_evaluate_step_grouping_wrapper(self):
+        execution = StepExecution(
+            step=step_by_name("p3"),
+            work=PerTupleWork(n_tuples=128, instructions=np.random.default_rng(0).exponential(10.0, 128)),
+        )
+        decision = evaluate_step_grouping(execution)
+        assert 0.0 <= decision.divergence_grouped <= decision.divergence_ungrouped + 1e-12
+
+    def test_tune_group_count_returns_candidate(self):
+        values = np.random.default_rng(1).exponential(5.0, 2048)
+        work = PerTupleWork(n_tuples=2048, instructions=values)
+        assert tune_group_count(work, candidates=(4, 32, 128)) in (4, 32, 128)
+
+    def test_invalid_group_count(self):
+        with pytest.raises(ValueError):
+            evaluate_grouping(PerTupleWork(n_tuples=4, instructions=1.0), n_groups=0)
+
+
+class TestJoinResult:
+    def test_equals_is_order_insensitive(self):
+        a = JoinResult(build_rids=np.array([1, 2]), probe_rids=np.array([10, 20]))
+        b = JoinResult(build_rids=np.array([2, 1]), probe_rids=np.array([20, 10]))
+        assert a.equals(b)
+
+    def test_unequal_lengths(self):
+        a = JoinResult(build_rids=np.array([1]), probe_rids=np.array([10]))
+        assert not a.equals(JoinResult.empty())
+
+    def test_concat(self):
+        a = JoinResult(build_rids=np.array([1]), probe_rids=np.array([10]))
+        b = JoinResult(build_rids=np.array([2]), probe_rids=np.array([20]))
+        merged = JoinResult.concat([a, b])
+        assert merged.match_count == 2
+        assert merged.as_pair_set() == {(1, 10), (2, 20)}
+
+    def test_mismatched_columns_rejected(self):
+        with pytest.raises(ValueError):
+            JoinResult(build_rids=np.array([1, 2]), probe_rids=np.array([1]))
