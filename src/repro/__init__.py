@@ -29,8 +29,10 @@ from .core import (
 )
 from .costmodel import (
     CalibrationTable,
+    EstimateCache,
     StepCost,
     estimate_series,
+    estimate_series_batch,
     optimize_dd,
     optimize_ol,
     optimize_pl,
@@ -53,6 +55,7 @@ __all__ = [
     "CalibrationTable",
     "CoProcessingExecutor",
     "DatasetSpec",
+    "EstimateCache",
     "HashJoinConfig",
     "HashJoinVariant",
     "HashTable",
@@ -71,6 +74,7 @@ __all__ = [
     "coupled_machine",
     "discrete_machine",
     "estimate_series",
+    "estimate_series_batch",
     "optimize_dd",
     "optimize_ol",
     "optimize_pl",

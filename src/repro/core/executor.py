@@ -146,11 +146,20 @@ class CoProcessingExecutor:
 
             exchanged = 0.0
             if index > 0:
-                moved_tuples = abs(ratio - ratios[index - 1]) * n
+                ratio_change = ratio - ratios[index - 1]
+                moved_tuples = abs(ratio_change) * n
                 exchanged = moved_tuples * execution.intermediate_bytes_per_tuple
                 if not self.machine.is_coupled and exchanged:
+                    # A growing CPU share pulls intermediate results produced
+                    # on the GPU back to the host (d2h); a shrinking share
+                    # pushes CPU-produced intermediates to the device (h2d).
+                    direction = (
+                        PCIeBus.DEVICE_TO_HOST
+                        if ratio_change > 0
+                        else PCIeBus.HOST_TO_DEVICE
+                    )
                     transfer_s += self.machine.transfer_seconds(
-                        int(exchanged), PCIeBus.HOST_TO_DEVICE,
+                        int(exchanged), direction,
                         label=f"{series.phase}:{execution.step.name}:intermediate",
                     )
 

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from ..costmodel.batch import EstimateCache
 from ..costmodel.calibration import CalibrationTable
 from ..data.relation import Relation, TUPLE_BYTES
 from ..hardware.cache import CacheStats
@@ -135,7 +136,9 @@ class HashJoinVariant:
         build: Relation,
         probe: Relation,
         machine: Machine | None = None,
+        cache: EstimateCache | None = None,
     ) -> JoinTiming:
+        """Run the variant; ``cache`` shares cost-model evaluations across calls."""
         machine = machine or coupled_machine()
         machine.reset_counters()
         config = self.config
@@ -178,7 +181,9 @@ class HashJoinVariant:
             # Calibrate per series (PHJ repeats step names across passes, so a
             # name-keyed lookup over the whole join would be ambiguous).
             steps = CalibrationTable.from_series([series], machine).step_costs()
-            plan = plan_ratios(scheme, series.phase, steps, delta=config.ratio_delta)
+            plan = plan_ratios(
+                scheme, series.phase, steps, delta=config.ratio_delta, cache=cache
+            )
             timing = executor.execute_series(
                 series,
                 plan.ratios,
@@ -260,11 +265,12 @@ def run_join(
     build: Relation,
     probe: Relation,
     machine: Machine | None = None,
+    cache: EstimateCache | None = None,
     **config_kwargs,
 ) -> JoinTiming:
     """Execute one variant; the main public entry point of the library."""
     variant = HashJoinVariant.named(algorithm, scheme, **config_kwargs)
-    return variant.execute(build, probe, machine=machine)
+    return variant.execute(build, probe, machine=machine, cache=cache)
 
 
 def run_all_variants(
@@ -283,10 +289,14 @@ def run_all_variants(
 ) -> dict[str, JoinTiming]:
     """Run a grid of variants and return them keyed by variant name."""
     machine = machine or coupled_machine()
+    cache = EstimateCache()
     out: dict[str, JoinTiming] = {}
     for algorithm in algorithms:
         for scheme in schemes:
-            timing = run_join(algorithm, scheme, build, probe, machine=machine, **config_kwargs)
+            timing = run_join(
+                algorithm, scheme, build, probe, machine=machine, cache=cache,
+                **config_kwargs,
+            )
             out[f"{algorithm}-{Scheme.parse(scheme).value}"] = timing
     return out
 

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from ..costmodel.batch import EstimateCache
 from ..data.relation import Relation
 from ..hardware.machine import Machine, coupled_machine
 from ..hashjoin.simple import HashJoinConfig
@@ -67,6 +68,10 @@ class JoinPlanner:
         self.pilot_fraction = pilot_fraction
         self.min_pilot_tuples = min_pilot_tuples
         self.max_pilot_tuples = max_pilot_tuples
+        #: Shared across every candidate evaluation this planner performs, so
+        #: identical calibrated steps (same pilot, different schemes/knobs)
+        #: reuse their cost-model evaluations instead of re-running them.
+        self.estimate_cache = EstimateCache()
 
     # ------------------------------------------------------------------
     def _pilot(self, relation: Relation) -> Relation:
@@ -76,7 +81,9 @@ class JoinPlanner:
         return relation.slice(0, size, name=f"{relation.name}-pilot")
 
     def _evaluate(self, config: VariantConfig, build: Relation, probe: Relation) -> PlanCandidate:
-        timing = HashJoinVariant(config).execute(build, probe, machine=self.machine)
+        timing = HashJoinVariant(config).execute(
+            build, probe, machine=self.machine, cache=self.estimate_cache
+        )
         return PlanCandidate(
             config=config, estimated_s=timing.estimated_s, measured_s=timing.total_s
         )
@@ -152,4 +159,6 @@ class JoinPlanner:
     def plan_and_run(self, build: Relation, probe: Relation, **plan_kwargs) -> JoinTiming:
         """Plan on the pilot, then execute the chosen configuration in full."""
         plan = self.plan(build, probe, **plan_kwargs)
-        return HashJoinVariant(plan.config).execute(build, probe, machine=self.machine)
+        return HashJoinVariant(plan.config).execute(
+            build, probe, machine=self.machine, cache=self.estimate_cache
+        )

@@ -22,6 +22,7 @@ from enum import Enum
 from typing import Sequence
 
 from ..costmodel.abstract import StepCost
+from ..costmodel.batch import EstimateCache
 from ..costmodel.optimizer import (
     DEFAULT_DELTA,
     OptimizationResult,
@@ -94,23 +95,29 @@ def plan_ratios(
     phase: str,
     steps: Sequence[StepCost],
     delta: float = DEFAULT_DELTA,
+    cache: EstimateCache | None = None,
 ) -> RatioPlan:
-    """Choose the ratio vector of one phase for one scheme via the cost model."""
+    """Choose the ratio vector of one phase for one scheme via the cost model.
+
+    ``cache`` (an :class:`~repro.costmodel.batch.EstimateCache`) lets callers
+    that plan the same calibrated steps repeatedly — the planner's design-space
+    sweep, the experiment figures — reuse identical cost-model evaluations.
+    """
     scheme = Scheme.parse(scheme)
     n = len(steps)
     if n == 0:
         raise ValueError("cannot plan ratios for an empty step series")
 
     if scheme is Scheme.CPU_ONLY:
-        result = _fixed_result(steps, 1.0)
+        result = _fixed_result(steps, 1.0, cache)
     elif scheme is Scheme.GPU_ONLY:
-        result = _fixed_result(steps, 0.0)
+        result = _fixed_result(steps, 0.0, cache)
     elif scheme is Scheme.OFFLOADING:
-        result = optimize_ol(steps)
+        result = optimize_ol(steps, cache=cache)
     elif scheme is Scheme.DATA_DIVIDING:
-        result = optimize_dd(steps, delta)
+        result = optimize_dd(steps, delta, cache=cache)
     elif scheme is Scheme.PIPELINED:
-        result = optimize_pl(steps, delta)
+        result = optimize_pl(steps, delta, cache=cache)
     else:  # pragma: no cover - exhaustive enum
         raise ValueError(f"unhandled scheme {scheme}")
 
@@ -123,11 +130,16 @@ def plan_ratios(
     )
 
 
-def _fixed_result(steps: Sequence[StepCost], ratio: float) -> OptimizationResult:
+def _fixed_result(
+    steps: Sequence[StepCost], ratio: float, cache: EstimateCache | None = None
+) -> OptimizationResult:
     from ..costmodel.abstract import estimate_series
 
     ratios = [ratio] * len(steps)
-    return OptimizationResult(ratios=ratios, estimate=estimate_series(steps, ratios))
+    estimate = (
+        cache.estimate(steps, ratios) if cache is not None else estimate_series(steps, ratios)
+    )
+    return OptimizationResult(ratios=ratios, estimate=estimate)
 
 
 #: Variant labels used throughout the evaluation section, e.g. ``"SHJ-PL"``.

@@ -10,6 +10,12 @@ from .abstract import (
     pipeline_delays,
     total_elapsed,
 )
+from .batch import (
+    BatchEstimate,
+    EstimateCache,
+    estimate_series_batch,
+    steps_fingerprint,
+)
 from .calibration import CalibrationTable, StepCalibration, calibrate_step
 from .montecarlo import (
     MonteCarloSample,
@@ -30,9 +36,11 @@ from .optimizer import (
 )
 
 __all__ = [
+    "BatchEstimate",
     "CalibrationTable",
     "CostModelError",
     "DEFAULT_DELTA",
+    "EstimateCache",
     "MonteCarloSample",
     "MonteCarloStudy",
     "OptimizationResult",
@@ -44,6 +52,7 @@ __all__ = [
     "dd_sweep",
     "estimate_phases",
     "estimate_series",
+    "estimate_series_batch",
     "intermediate_result_bytes",
     "optimize_dd",
     "optimize_ol",
@@ -53,5 +62,6 @@ __all__ = [
     "ratio_grid",
     "run_monte_carlo",
     "sample_ratio_vectors",
+    "steps_fingerprint",
     "total_elapsed",
 ]

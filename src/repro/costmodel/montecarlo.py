@@ -17,6 +17,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from .abstract import StepCost, estimate_series
+from .batch import EstimateCache, estimate_series_batch
 
 #: Measurement callback: ratios -> measured (simulated) seconds.
 MeasureFn = Callable[[Sequence[float]], float]
@@ -32,8 +33,13 @@ class MonteCarloSample:
 
     @property
     def relative_error(self) -> float:
+        """Relative prediction error; NaN when the measurement is degenerate.
+
+        A non-positive measured time carries no information about prediction
+        quality, so it must not be counted as a perfect prediction.
+        """
         if self.measured_s <= 0:
-            return 0.0
+            return float("nan")
         return abs(self.estimated_s - self.measured_s) / self.measured_s
 
 
@@ -75,11 +81,18 @@ class MonteCarloStudy:
         return float(np.mean(times >= self.chosen_measured_s))
 
     def error_quantile(self, quantile: float = 0.9) -> float:
-        """Prediction-error quantile across the random runs."""
+        """Prediction-error quantile across the random runs.
+
+        Degenerate samples (``relative_error`` NaN) are excluded; if every
+        sample is degenerate the quantile itself is NaN.
+        """
         errors = np.asarray([s.relative_error for s in self.samples])
         if errors.shape[0] == 0:
             return 0.0
-        return float(np.quantile(errors, quantile))
+        finite = errors[~np.isnan(errors)]
+        if finite.shape[0] == 0:
+            return float("nan")
+        return float(np.quantile(finite, quantile))
 
 
 def sample_ratio_vectors(
@@ -104,19 +117,27 @@ def run_monte_carlo(
     n_samples: int = 1000,
     seed: int = 2013,
     delta: float = 0.02,
+    cache: EstimateCache | None = None,
 ) -> MonteCarloStudy:
     """Run the Figure 9 experiment.
 
     ``measure`` maps a ratio vector to its measured (simulated) elapsed time;
     ``chosen_ratios`` is the cost model's own pick, measured the same way.
+    All random ratio vectors are estimated in one vectorized batch (through
+    ``cache`` when given), so the model-side cost of the study is a single
+    ``estimate_series_batch`` call.
     """
-    samples: list[MonteCarloSample] = []
-    for ratios in sample_ratio_vectors(len(steps), n_samples, seed=seed, delta=delta):
-        estimated = estimate_series(steps, ratios).total_s
-        measured = measure(ratios)
-        samples.append(
-            MonteCarloSample(ratios=list(ratios), estimated_s=estimated, measured_s=measured)
+    vectors = sample_ratio_vectors(len(steps), n_samples, seed=seed, delta=delta)
+    if cache is not None:
+        estimated_totals = cache.totals(steps, vectors)
+    else:
+        estimated_totals = estimate_series_batch(steps, vectors).total_s
+    samples = [
+        MonteCarloSample(
+            ratios=list(ratios), estimated_s=float(estimated), measured_s=measure(ratios)
         )
+        for ratios, estimated in zip(vectors, estimated_totals.tolist())
+    ]
     chosen = list(chosen_ratios)
     return MonteCarloStudy(
         samples=samples,

@@ -7,6 +7,18 @@ per-step ratios are optimised with an exhaustive grid for short series and
 with coordinate descent (initialised from the DD optimum and the per-step OL
 preferences) for longer ones, which converges to the same solutions on the
 series sizes used in the paper while keeping optimisation time bounded.
+
+All optimisers evaluate their candidates through the vectorized batch engine
+(:mod:`repro.costmodel.batch`): the DD grid, the full 2^n OL enumeration, each
+PL coordinate's candidate column and the PL exhaustive grid are single
+``estimate_series_batch`` calls instead of per-candidate Python evaluations.
+The candidate-acceptance logic replays the batched totals in the scalar
+reference order, so the chosen ratios (and their estimates) are identical to
+the scalar path; ``use_batch=False`` keeps the scalar evaluation loop
+available as the reference/benchmark baseline.  Passing an
+:class:`~repro.costmodel.batch.EstimateCache` additionally reuses evaluations
+across optimiser calls with the same calibrated steps (e.g. PL's internal DD
+start after a DD optimisation of the same series).
 """
 
 from __future__ import annotations
@@ -18,6 +30,7 @@ from typing import Sequence
 import numpy as np
 
 from .abstract import SeriesEstimate, StepCost, estimate_series
+from .batch import EstimateCache, as_ratio_matrix, batch_totals
 
 #: Ratio granularity used by the paper.
 DEFAULT_DELTA = 0.02
@@ -28,11 +41,63 @@ class OptimizerError(ValueError):
 
 
 def ratio_grid(delta: float = DEFAULT_DELTA) -> np.ndarray:
-    """All candidate ratios 0, delta, 2*delta, ..., 1."""
+    """All candidate ratios 0, delta, 2*delta, ... plus the endpoint 1.
+
+    The grid honours the requested spacing even when ``delta`` does not
+    divide 1 (e.g. 0.03 yields 0, 0.03, ..., 0.99, 1.0); the endpoint 1.0 is
+    always included so the single-device assignments stay reachable.
+    """
     if not 0.0 < delta <= 1.0:
         raise OptimizerError("delta must be in (0, 1]")
-    n = int(round(1.0 / delta))
-    return np.round(np.linspace(0.0, 1.0, n + 1), 10)
+    grid = np.round(np.arange(0.0, 1.0 + 0.5 * delta, delta), 10)
+    if grid[-1] > 1.0:
+        grid = grid[:-1]
+    if grid[-1] != 1.0:
+        grid = np.append(grid, 1.0)
+    return grid
+
+
+class _SeriesEvaluator:
+    """Routes candidate evaluations through the batch engine (or scalar loop).
+
+    Counts one evaluation per candidate row so the reported ``evaluations``
+    match the historical scalar implementation exactly.
+    """
+
+    def __init__(
+        self,
+        steps: Sequence[StepCost],
+        cache: EstimateCache | None = None,
+        use_batch: bool = True,
+    ) -> None:
+        self.steps = steps
+        self.cache = cache
+        self.use_batch = use_batch
+        self.evaluations = 0
+
+    def totals(self, ratio_matrix) -> np.ndarray:
+        """``total_s`` per candidate row of the matrix."""
+        matrix = as_ratio_matrix(ratio_matrix, len(self.steps), validate=False)
+        self.evaluations += matrix.shape[0]
+        if not self.use_batch:
+            return np.array(
+                [estimate_series(self.steps, row.tolist()).total_s for row in matrix],
+                dtype=np.float64,
+            )
+        if self.cache is not None:
+            return self.cache.totals(self.steps, matrix)
+        # The optimisers build their matrices from validated grids/ratios, so
+        # the [0, 1] re-scan is skipped on this hot path.
+        return batch_totals(self.steps, matrix, validate=False)
+
+    def total(self, ratios: Sequence[float]) -> float:
+        return float(self.totals([list(ratios)])[0])
+
+    def estimate(self, ratios: Sequence[float]) -> SeriesEstimate:
+        """Full scalar (reference) estimate for a chosen ratio vector."""
+        if self.cache is not None:
+            return self.cache.estimate(self.steps, list(ratios))
+        return estimate_series(self.steps, list(ratios))
 
 
 @dataclass
@@ -55,61 +120,75 @@ class OptimizationResult:
 def optimize_dd(
     steps: Sequence[StepCost],
     delta: float = DEFAULT_DELTA,
+    cache: EstimateCache | None = None,
+    use_batch: bool = True,
 ) -> OptimizationResult:
-    """Best single workload ratio for the whole step series."""
-    best: OptimizationResult | None = None
-    evaluations = 0
-    for ratio in ratio_grid(delta):
-        ratios = [float(ratio)] * len(steps)
-        estimate = estimate_series(steps, ratios)
-        evaluations += 1
-        if best is None or estimate.total_s < best.total_s:
-            best = OptimizationResult(ratios=ratios, estimate=estimate, scheme="DD")
-    assert best is not None
-    best.evaluations = evaluations
-    return best
+    """Best single workload ratio for the whole step series.
+
+    The whole delta grid is evaluated as one batch; ties resolve to the
+    smallest ratio, as in a first-strictly-better scan of the grid.
+    """
+    grid = ratio_grid(delta)
+    evaluator = _SeriesEvaluator(steps, cache=cache, use_batch=use_batch)
+    matrix = np.repeat(grid[:, np.newaxis], len(steps), axis=1)
+    totals = evaluator.totals(matrix)
+    index = int(np.argmin(totals)) if len(steps) else 0
+    ratios = [float(grid[index])] * len(steps)
+    return OptimizationResult(
+        ratios=ratios,
+        estimate=evaluator.estimate(ratios),
+        evaluations=evaluator.evaluations,
+        scheme="DD",
+    )
 
 
 def dd_sweep(
     steps: Sequence[StepCost],
     delta: float = DEFAULT_DELTA,
+    cache: EstimateCache | None = None,
 ) -> list[tuple[float, float]]:
     """(ratio, estimated seconds) pairs for the DD ratio sweep (Figure 7)."""
-    return [
-        (float(r), estimate_series(steps, [float(r)] * len(steps)).total_s)
-        for r in ratio_grid(delta)
-    ]
+    grid = ratio_grid(delta)
+    evaluator = _SeriesEvaluator(steps, cache=cache)
+    matrix = np.repeat(grid[:, np.newaxis], len(steps), axis=1)
+    totals = evaluator.totals(matrix)
+    return [(float(r), float(t)) for r, t in zip(grid, totals)]
 
 
 # ---------------------------------------------------------------------------
 # OL: every step runs entirely on one device
 # ---------------------------------------------------------------------------
-def optimize_ol(steps: Sequence[StepCost]) -> OptimizationResult:
+def optimize_ol(
+    steps: Sequence[StepCost],
+    cache: EstimateCache | None = None,
+    use_batch: bool = True,
+) -> OptimizationResult:
     """Best 0/1 assignment per step.
 
     On the coupled architecture the offloading decision per step depends only
     on which device runs the step faster (no PCI-e term), so the optimum is
-    found per step; the full 2^n enumeration is used for short series to keep
-    the implementation obviously faithful to the paper's description.
+    found per step; the full 2^n enumeration — one batched evaluation — is
+    used for short series to keep the implementation obviously faithful to
+    the paper's description.
     """
     n = len(steps)
+    evaluator = _SeriesEvaluator(steps, cache=cache, use_batch=use_batch)
     if n <= 12:
-        best: OptimizationResult | None = None
-        evaluations = 0
-        for assignment in product((0.0, 1.0), repeat=n):
-            estimate = estimate_series(steps, list(assignment))
-            evaluations += 1
-            if best is None or estimate.total_s < best.total_s:
-                best = OptimizationResult(
-                    ratios=list(assignment), estimate=estimate, scheme="OL"
-                )
-        assert best is not None
-        best.evaluations = evaluations
-        return best
+        assignments = np.array(list(product((0.0, 1.0), repeat=n)), dtype=np.float64)
+        if assignments.ndim == 1:  # n == 0 degenerates to one empty assignment
+            assignments = assignments.reshape(1, 0)
+        totals = evaluator.totals(assignments)
+        ratios = assignments[int(np.argmin(totals))].tolist()
+        return OptimizationResult(
+            ratios=ratios,
+            estimate=evaluator.estimate(ratios),
+            evaluations=evaluator.evaluations,
+            scheme="OL",
+        )
 
     ratios = [0.0 if s.gpu_unit_s <= s.cpu_unit_s else 1.0 for s in steps]
     return OptimizationResult(
-        ratios=ratios, estimate=estimate_series(steps, ratios), evaluations=n, scheme="OL"
+        ratios=ratios, estimate=evaluator.estimate(ratios), evaluations=n, scheme="OL"
     )
 
 
@@ -122,29 +201,30 @@ def optimize_pl(
     max_rounds: int = 6,
     exhaustive_limit: int = 3,
     exhaustive_delta: float = 0.1,
+    cache: EstimateCache | None = None,
+    use_batch: bool = True,
 ) -> OptimizationResult:
     """Per-step ratios minimising the estimated series time.
 
     Short series (``len(steps) <= exhaustive_limit``) are solved with an
     exhaustive coarse grid followed by a fine refinement; longer series use
     coordinate descent over the delta grid from several starting points.
+    Each coordinate's full candidate column (and the exhaustive coarse grid)
+    is evaluated as a single batch; acceptance replays the batched totals in
+    grid order with the scalar path's strict-improvement threshold, so the
+    returned ratios match the scalar implementation exactly.
     """
     n = len(steps)
     if n == 0:
         raise OptimizerError("cannot optimise an empty step series")
 
-    evaluations = 0
     grid = ratio_grid(delta)
-
-    def evaluate(ratios: list[float]) -> SeriesEstimate:
-        nonlocal evaluations
-        evaluations += 1
-        return estimate_series(steps, ratios)
+    evaluator = _SeriesEvaluator(steps, cache=cache, use_batch=use_batch)
 
     candidates: list[list[float]] = []
     # Start 1: the DD optimum.
-    dd = optimize_dd(steps, delta)
-    evaluations += dd.evaluations
+    dd = optimize_dd(steps, delta, cache=cache, use_batch=use_batch)
+    evaluator.evaluations += dd.evaluations
     candidates.append(list(dd.ratios))
     # Start 2: per-step device preference (OL-like).
     candidates.append([0.0 if s.gpu_unit_s <= s.cpu_unit_s else 1.0 for s in steps])
@@ -157,65 +237,67 @@ def optimize_pl(
 
     if n <= exhaustive_limit:
         coarse = ratio_grid(exhaustive_delta)
-        best_coarse = None
-        for assignment in product(coarse, repeat=n):
-            ratios = [float(r) for r in assignment]
-            estimate = evaluate(ratios)
-            if best_coarse is None or estimate.total_s < best_coarse.total_s:
-                best_coarse = OptimizationResult(ratios=ratios, estimate=estimate)
-        assert best_coarse is not None
-        candidates.append(list(best_coarse.ratios))
+        assignments = np.array(list(product(coarse, repeat=n)), dtype=np.float64)
+        totals = evaluator.totals(assignments)
+        candidates.append(assignments[int(np.argmin(totals))].tolist())
 
-    best: OptimizationResult | None = None
+    best_ratios: list[float] | None = None
+    best_total = float("inf")
     for start in candidates:
         ratios = [float(np.clip(r, 0.0, 1.0)) for r in start]
-        current = evaluate(ratios)
+        current_total = evaluator.total(ratios)
         improved = True
         rounds = 0
         while improved and rounds < max_rounds:
             improved = False
             rounds += 1
             for i in range(n):
+                column = grid[grid != ratios[i]]
+                trials = np.empty((column.size, n), dtype=np.float64)
+                trials[:] = ratios
+                trials[:, i] = column
+                totals = evaluator.totals(trials)
                 best_ratio = ratios[i]
-                best_time = current.total_s
-                for candidate in grid:
-                    if candidate == ratios[i]:
-                        continue
-                    trial = list(ratios)
-                    trial[i] = float(candidate)
-                    estimate = evaluate(trial)
-                    if estimate.total_s < best_time - 1e-15:
-                        best_time = estimate.total_s
-                        best_ratio = float(candidate)
+                best_time = current_total
+                for candidate, total in zip(column.tolist(), totals.tolist()):
+                    if total < best_time - 1e-15:
+                        best_time = total
+                        best_ratio = candidate
                 if best_ratio != ratios[i]:
                     ratios[i] = best_ratio
-                    current = evaluate(ratios)
+                    current_total = evaluator.total(ratios)
                     improved = True
-        if best is None or current.total_s < best.total_s:
-            best = OptimizationResult(ratios=list(ratios), estimate=current, scheme="PL")
+        if best_ratios is None or current_total < best_total:
+            best_ratios = list(ratios)
+            best_total = current_total
 
-    assert best is not None
-    best.evaluations = evaluations
-    return best
+    assert best_ratios is not None
+    return OptimizationResult(
+        ratios=best_ratios,
+        estimate=evaluator.estimate(best_ratios),
+        evaluations=evaluator.evaluations,
+        scheme="PL",
+    )
 
 
 def optimize_scheme(
     scheme: str,
     steps: Sequence[StepCost],
     delta: float = DEFAULT_DELTA,
+    cache: EstimateCache | None = None,
 ) -> OptimizationResult:
     """Dispatch to the optimiser of a named co-processing scheme."""
     scheme = scheme.upper()
     if scheme == "DD":
-        return optimize_dd(steps, delta)
+        return optimize_dd(steps, delta, cache=cache)
     if scheme == "OL":
-        return optimize_ol(steps)
+        return optimize_ol(steps, cache=cache)
     if scheme == "PL":
-        return optimize_pl(steps, delta)
-    if scheme in ("CPU", "CPU-ONLY"):
-        ratios = [1.0] * len(steps)
-        return OptimizationResult(ratios, estimate_series(steps, ratios), scheme="CPU")
-    if scheme in ("GPU", "GPU-ONLY"):
-        ratios = [0.0] * len(steps)
-        return OptimizationResult(ratios, estimate_series(steps, ratios), scheme="GPU")
+        return optimize_pl(steps, delta, cache=cache)
+    if scheme in ("CPU", "CPU-ONLY", "GPU", "GPU-ONLY"):
+        ratios = [1.0 if scheme.startswith("CPU") else 0.0] * len(steps)
+        evaluator = _SeriesEvaluator(steps, cache=cache)
+        return OptimizationResult(
+            ratios, evaluator.estimate(ratios), scheme=scheme[:3]
+        )
     raise OptimizerError(f"unknown co-processing scheme {scheme!r}")

@@ -11,6 +11,7 @@ DD), and (c) both vanish on the coupled architecture.
 from __future__ import annotations
 
 from ..core.joins import run_join
+from ..costmodel.batch import EstimateCache
 from ..data.workload import JoinWorkload
 from ..hardware.machine import coupled_machine, discrete_machine
 from .common import DEFAULT_TUPLES, ExperimentResult
@@ -32,10 +33,12 @@ def run_fig03(
     )
 
     variants = [("SHJ", "DD"), ("SHJ", "OL"), ("PHJ", "DD"), ("PHJ", "OL")]
+    cache = EstimateCache()
     for algorithm, scheme in variants:
         for arch_name, machine_factory in (("discrete", discrete_machine), ("coupled", coupled_machine)):
             timing = run_join(
-                algorithm, scheme, workload.build, workload.probe, machine=machine_factory()
+                algorithm, scheme, workload.build, workload.probe,
+                machine=machine_factory(), cache=cache,
             )
             breakdown = timing.breakdown()
             result.add_row(

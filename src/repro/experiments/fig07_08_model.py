@@ -13,7 +13,7 @@ import numpy as np
 
 from ..costmodel.calibration import CalibrationTable
 from ..core.executor import CoProcessingExecutor
-from ..costmodel.abstract import estimate_series
+from ..costmodel.batch import estimate_series_batch
 from ..data.workload import JoinWorkload
 from ..hardware.machine import Machine, coupled_machine
 from ..hashjoin.simple import HashJoinConfig, SimpleHashJoin
@@ -48,10 +48,12 @@ def run_fig07(
     ratios = np.round(np.arange(0.0, 1.0 + 1e-9, ratio_step), 6)
     for phase_name, series in (("build", build_series), ("probe", probe_series)):
         steps = CalibrationTable.from_series([series], machine).step_costs()
+        # The whole DD sweep is one batched model evaluation (one row per ratio).
+        matrix = np.repeat(ratios[:, np.newaxis], series.n_steps, axis=1)
+        estimates = estimate_series_batch(steps, matrix).total_s
         best_ratio, best_measured = None, float("inf")
-        for ratio in ratios:
+        for ratio, estimated in zip(ratios, estimates.tolist()):
             vector = [float(ratio)] * series.n_steps
-            estimated = estimate_series(steps, vector).total_s
             measured = executor.execute_series(series, vector, pipelined=False).elapsed_s
             if measured < best_measured:
                 best_measured, best_ratio = measured, float(ratio)
@@ -96,9 +98,13 @@ def run_fig08(
     ratios = np.round(np.arange(0.0, 1.0 + 1e-9, ratio_step), 6)
     for phase_name, series in (("build", build_series), ("probe", probe_series)):
         steps = CalibrationTable.from_series([series], machine).step_costs()
-        for ratio in ratios:
+        # Constrained-PL sweep: first step pinned to the GPU, one ratio for the
+        # rest — again a single batched evaluation.
+        matrix = np.repeat(ratios[:, np.newaxis], series.n_steps, axis=1)
+        matrix[:, 0] = 0.0
+        estimates = estimate_series_batch(steps, matrix).total_s
+        for ratio, estimated in zip(ratios, estimates.tolist()):
             vector = [0.0] + [float(ratio)] * (series.n_steps - 1)
-            estimated = estimate_series(steps, vector).total_s
             measured = executor.execute_series(series, vector, pipelined=True).elapsed_s
             result.add_row(
                 phase=phase_name,

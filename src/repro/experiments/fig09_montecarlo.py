@@ -10,6 +10,7 @@ phase of PHJ-PL, as in the paper.
 from __future__ import annotations
 
 from ..core.executor import CoProcessingExecutor
+from ..costmodel.batch import EstimateCache
 from ..costmodel.calibration import CalibrationTable
 from ..costmodel.montecarlo import MonteCarloStudy, run_monte_carlo
 from ..costmodel.optimizer import optimize_pl
@@ -31,8 +32,13 @@ def _study_for_series(series, machine: Machine, n_samples: int, seed: int) -> Mo
     def measure(ratios) -> float:
         return executor.execute_series(series, list(ratios), pipelined=True).elapsed_s
 
-    chosen = optimize_pl(steps)
-    return run_monte_carlo(steps, measure, chosen.ratios, n_samples=n_samples, seed=seed)
+    # One cache serves both the PL optimisation and the Monte Carlo batch, so
+    # ratio vectors the optimiser already evaluated are not re-estimated.
+    cache = EstimateCache()
+    chosen = optimize_pl(steps, cache=cache)
+    return run_monte_carlo(
+        steps, measure, chosen.ratios, n_samples=n_samples, seed=seed, cache=cache
+    )
 
 
 def run_fig09(

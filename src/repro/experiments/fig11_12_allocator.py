@@ -14,6 +14,7 @@ reports up to 36% / 39% improvement.
 from __future__ import annotations
 
 from ..core.joins import run_join
+from ..costmodel.batch import EstimateCache
 from ..data.workload import JoinWorkload
 from ..hardware.machine import Machine, coupled_machine
 from .common import DEFAULT_TUPLES, ExperimentResult, improvement
@@ -45,6 +46,7 @@ def run_fig11(
         parameters={"build_tuples": build_tuples, "block_sizes": list(block_sizes)},
     )
 
+    cache = EstimateCache()
     for scheme in schemes:
         best = None
         for block in block_sizes:
@@ -54,6 +56,7 @@ def run_fig11(
                 workload.build,
                 workload.probe,
                 machine=machine or coupled_machine(),
+                cache=cache,
                 join_config=_allocator_config(block),
             )
             lock_overhead = max(timing.total_s - timing.estimated_s, 0.0)
@@ -93,6 +96,7 @@ def run_fig12(
         parameters={"build_tuples": build_tuples, "block_bytes": block_bytes},
     )
 
+    cache = EstimateCache()
     for algorithm in ("SHJ", "PHJ"):
         for scheme in schemes:
             timings = {}
@@ -103,6 +107,7 @@ def run_fig12(
                     workload.build,
                     workload.probe,
                     machine=machine or coupled_machine(),
+                    cache=cache,
                     join_config=_allocator_config(block_bytes, kind=kind),
                 )
                 timings[kind] = timing.total_s

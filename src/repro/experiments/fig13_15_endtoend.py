@@ -13,6 +13,7 @@
 from __future__ import annotations
 
 from ..core.joins import run_join
+from ..costmodel.batch import EstimateCache
 from ..data.generator import SKEW_PRESETS
 from ..data.workload import JoinWorkload, selectivity_sweep
 from ..hardware.machine import Machine, coupled_machine
@@ -45,6 +46,7 @@ def _size_sweep(
             "skew": SKEW_PRESETS[skew_preset],
         },
     )
+    cache = EstimateCache()  # schemes at the same size share their evaluations
     for algorithm in ("SHJ", "PHJ"):
         for build_tuples in build_sizes:
             workload = JoinWorkload.skewed(skew_preset, build_tuples, probe_tuples, seed=seed)
@@ -55,6 +57,7 @@ def _size_sweep(
                     workload.build,
                     workload.probe,
                     machine=machine or coupled_machine(),
+                    cache=cache,
                 )
                 result.add_row(
                     algorithm=algorithm,
@@ -105,6 +108,7 @@ def run_fig15(
         parameters={"build_tuples": build_tuples, "selectivities": list(selectivities)},
     )
     workloads = selectivity_sweep(build_tuples, probe_tuples, tuple(selectivities), seed=seed)
+    cache = EstimateCache()
     for workload, selectivity in zip(workloads, selectivities):
         for scheme in ("DD", "OL", "PL"):
             timing = run_join(
@@ -113,6 +117,7 @@ def run_fig15(
                 workload.build,
                 workload.probe,
                 machine=machine or coupled_machine(),
+                cache=cache,
             )
             result.add_row(
                 scheme=scheme,

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import replace
 
 from ..core.joins import run_join
+from ..costmodel.batch import EstimateCache
 from ..data.workload import JoinWorkload
 from ..hardware.machine import Machine, coupled_machine
 from ..hashjoin.simple import HashJoinConfig
@@ -35,11 +36,12 @@ def run_headline(
     )
 
     totals: dict[str, float] = {}
+    cache = EstimateCache()  # shared: the schemes re-evaluate identical steps
     for algorithm in ("SHJ", "PHJ"):
         for scheme in ("CPU-only", "GPU-only", "DD", "PL"):
             timing = run_join(
                 algorithm, scheme, workload.build, workload.probe,
-                machine=machine or coupled_machine(),
+                machine=machine or coupled_machine(), cache=cache,
             )
             totals[f"{algorithm}-{scheme}"] = timing.total_s
             result.add_row(algorithm=algorithm, scheme=scheme, elapsed_s=timing.total_s)

@@ -120,9 +120,6 @@ class HashTable:
         self.rid_node_owner = np.empty(capacity, dtype=np.int64)
         self.n_rid_nodes = 0
 
-        # key value -> key node index (implementation index; the logical
-        # structure remains the chained arrays above).
-        self._key_index: dict[int, int] = {}
         # Lazily built CSR view of the rid lists for vectorised probing.
         self._csr_dirty = True
         self._csr_offsets: np.ndarray | None = None
@@ -188,9 +185,10 @@ class HashTable:
         return int(self.bucket_key_count[bucket])
 
     def bucket_of_key(self, key: int) -> int | None:
-        node = self._key_index.get(int(key))
-        if node is None:
+        nodes = self._lookup_nodes(np.asarray([int(key)], dtype=np.int64))
+        if nodes[0] < 0:
             return None
+        node = int(nodes[0])
         # Walk back via chain position: cheaper to recompute from the key
         # node's stored bucket via the rid owner; buckets are not stored per
         # key node, so recover it from the chain structure on demand.
@@ -258,7 +256,6 @@ class HashTable:
                 self.key_node_next[tail] = found
             self.bucket_tail[bucket] = found
             self.bucket_key_count[bucket] += 1
-            self._key_index[key] = found
 
         # b4: insert the record id into the rid list (prepend).
         self._ensure_rid_capacity(1)
@@ -294,6 +291,25 @@ class HashTable:
     # ------------------------------------------------------------------
     # Bulk (vectorised) path
     # ------------------------------------------------------------------
+    def _lookup_nodes(self, keys: np.ndarray) -> np.ndarray:
+        """Key-node index per key (-1 when absent), fully vectorised.
+
+        Sorts the live key-node keys and binary-searches the queries, the
+        same technique :meth:`bulk_probe` uses; the common build path (bulk
+        inserts into a fresh table) skips it entirely via the empty check.
+        """
+        if self.n_key_nodes == 0:
+            return np.full(keys.shape[0], -1, dtype=np.int64)
+        table_keys = self.key_node_key[: self.n_key_nodes]
+        key_order = np.argsort(table_keys, kind="stable")
+        sorted_table_keys = table_keys[key_order]
+        positions = np.searchsorted(sorted_table_keys, keys)
+        positions_clipped = np.minimum(positions, self.n_key_nodes - 1)
+        found = (positions < self.n_key_nodes) & (
+            sorted_table_keys[positions_clipped] == keys
+        )
+        return np.where(found, key_order[positions_clipped], -1)
+
     def bulk_insert(
         self,
         keys: np.ndarray,
@@ -335,11 +351,7 @@ class HashTable:
         n_groups = group_keys.shape[0]
 
         # Which groups hit an already-existing key node?
-        existing_nodes = np.fromiter(
-            (self._key_index.get(int(k), -1) for k in group_keys),
-            dtype=np.int64,
-            count=n_groups,
-        )
+        existing_nodes = self._lookup_nodes(group_keys)
         is_new = existing_nodes < 0
         n_new = int(is_new.sum())
 
@@ -396,8 +408,6 @@ class HashTable:
 
             group_node[is_new] = new_node_ids
             self.n_key_nodes += n_new
-            for key, node in zip(new_keys.tolist(), new_node_ids.tolist()):
-                self._key_index[key] = node
 
         # b4: one rid node per tuple, prepended group-wise to the key's list.
         self._ensure_rid_capacity(n)

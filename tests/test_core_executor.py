@@ -92,6 +92,35 @@ class TestExecutor:
         assert sum(timing.cpu_delay_s) == 0.0
         assert sum(timing.gpu_delay_s) == 0.0
 
+    def test_intermediate_transfer_direction_follows_ratio_change(self, shj_series):
+        """Regression: a growing CPU share moves intermediates device->host,
+        a shrinking share host->device (previously everything was h2d)."""
+        from repro.hardware.pcie import PCIeBus
+
+        build, _ = shj_series
+        machine = discrete_machine()
+        executor = CoProcessingExecutor(machine)
+        ratios = [0.2, 0.8, 0.1, 0.1]  # one increase, one decrease, one plateau
+        executor.execute_series(build, ratios, transfer_input=False, transfer_output=False)
+        intermediates = [
+            t for t in machine.bus.transfers if t.label.endswith(":intermediate")
+        ]
+        assert len(intermediates) == 2
+        by_step = {t.label.split(":")[1]: t.direction for t in intermediates}
+        assert by_step["b2"] == PCIeBus.DEVICE_TO_HOST  # 0.2 -> 0.8: CPU grew
+        assert by_step["b3"] == PCIeBus.HOST_TO_DEVICE  # 0.8 -> 0.1: CPU shrank
+
+    def test_intermediate_transfer_directions_accounted_separately(self, shj_series):
+        build, _ = shj_series
+        machine = discrete_machine()
+        executor = CoProcessingExecutor(machine)
+        executor.execute_series(
+            build, [0.0, 1.0, 0.0, 1.0], transfer_input=False, transfer_output=False
+        )
+        directions = machine.bus.seconds_by_direction()
+        assert directions["d2h"] > 0.0  # the two CPU-share increases
+        assert directions["h2d"] > 0.0  # the CPU-share decrease
+
     def test_merge_cost_positive(self):
         executor = CoProcessingExecutor(coupled_machine())
         assert executor.merge_cost(1_000, 10_000, 200_000) > 0.0

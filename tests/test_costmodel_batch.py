@@ -1,0 +1,336 @@
+"""Batch cost-model engine: equivalence with the scalar reference, cache,
+optimizer parity and the PCI-e/grid/Monte-Carlo regression fixes."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.costmodel import (
+    CostModelError,
+    EstimateCache,
+    MonteCarloSample,
+    StepCost,
+    dd_sweep,
+    estimate_series,
+    estimate_series_batch,
+    optimize_dd,
+    optimize_ol,
+    optimize_pl,
+    ratio_grid,
+    run_monte_carlo,
+    steps_fingerprint,
+)
+from repro.costmodel.batch import batch_totals
+
+SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+TOL = 1e-12
+
+
+def random_steps(rng: np.random.Generator, n: int) -> list[StepCost]:
+    return [
+        StepCost(
+            f"s{i}",
+            int(rng.integers(0, 200_000)),
+            cpu_unit_s=float(rng.uniform(0.0, 5e-8)),
+            gpu_unit_s=float(rng.uniform(0.0, 5e-8)),
+            intermediate_bytes_per_tuple=float(rng.uniform(0.0, 16.0)),
+        )
+        for i in range(n)
+    ]
+
+
+def assert_rows_match_scalar(steps: list[StepCost], matrix: np.ndarray) -> None:
+    batch = estimate_series_batch(steps, matrix)
+    for i in range(matrix.shape[0]):
+        reference = estimate_series(steps, matrix[i].tolist())
+        assert batch.cpu_total_s[i] == pytest.approx(reference.cpu_total_s, abs=TOL, rel=TOL)
+        assert batch.gpu_total_s[i] == pytest.approx(reference.gpu_total_s, abs=TOL, rel=TOL)
+        assert batch.total_s[i] == pytest.approx(reference.total_s, abs=TOL, rel=TOL)
+        assert batch.intermediate_bytes[i] == pytest.approx(
+            reference.intermediate_bytes, rel=1e-9, abs=1e-9
+        )
+        row = batch.row(i)
+        assert row.cpu_step_s == pytest.approx(reference.cpu_step_s, abs=TOL)
+        assert row.gpu_step_s == pytest.approx(reference.gpu_step_s, abs=TOL)
+        assert row.cpu_delay_s == pytest.approx(reference.cpu_delay_s, abs=TOL)
+        assert row.gpu_delay_s == pytest.approx(reference.gpu_delay_s, abs=TOL)
+
+
+class TestBatchEquivalence:
+    @SETTINGS
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=1, max_value=40),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_random_matrices_match_scalar(self, n_steps, n_rows, seed):
+        rng = np.random.default_rng(seed)
+        steps = random_steps(rng, n_steps)
+        matrix = rng.uniform(0.0, 1.0, size=(n_rows, n_steps))
+        assert_rows_match_scalar(steps, matrix)
+
+    def test_ol_corner_rows_match_scalar(self):
+        """All-0/1 assignments: the ratio-change denominators hit their 0/1 edges."""
+        rng = np.random.default_rng(17)
+        steps = random_steps(rng, 5)
+        matrix = np.array(
+            [[float(b) for b in np.binary_repr(k, width=5)] for k in range(2**5)]
+        )
+        assert_rows_match_scalar(steps, matrix)
+
+    def test_equal_ratio_dd_rows_have_exactly_zero_delays(self):
+        """DD rows (one ratio for every step) must produce Eq. 4/5 delays of 0."""
+        rng = np.random.default_rng(23)
+        steps = random_steps(rng, 6)
+        grid = ratio_grid(0.02)
+        matrix = np.repeat(grid[:, np.newaxis], 6, axis=1)
+        batch = estimate_series_batch(steps, matrix)
+        assert np.all(batch.cpu_delay_s == 0.0)
+        assert np.all(batch.gpu_delay_s == 0.0)
+        assert np.all(batch.intermediate_bytes == 0.0)
+        assert_rows_match_scalar(steps, matrix)
+
+    def test_single_vector_promoted_to_one_row(self):
+        steps = random_steps(np.random.default_rng(1), 4)
+        batch = estimate_series_batch(steps, [0.1, 0.9, 0.3, 0.3])
+        assert len(batch) == 1
+        reference = estimate_series(steps, [0.1, 0.9, 0.3, 0.3])
+        assert batch.total_s[0] == pytest.approx(reference.total_s, abs=TOL)
+
+    def test_empty_series(self):
+        batch = estimate_series_batch([], np.zeros((3, 0)))
+        assert len(batch) == 3
+        assert np.all(batch.total_s == 0.0)
+
+    def test_validation_matches_scalar(self):
+        steps = random_steps(np.random.default_rng(2), 3)
+        with pytest.raises(CostModelError):
+            estimate_series_batch(steps, np.full((2, 3), 1.5))
+        with pytest.raises(CostModelError):
+            estimate_series_batch(steps, np.zeros((2, 4)))
+        with pytest.raises(CostModelError):
+            estimate_series_batch(steps, np.zeros((2, 2, 3)))
+
+    def test_argmin_is_first_minimum(self):
+        steps = [StepCost("s", 1_000, cpu_unit_s=1e-9, gpu_unit_s=1e-9)]
+        batch = estimate_series_batch(steps, [[0.5], [0.5], [0.0]])
+        assert batch.argmin() == 0
+
+    @SETTINGS
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=1, max_value=40),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_totals_fast_path_matches_full_batch(self, n_steps, n_rows, seed):
+        """batch_totals (the optimiser hot path) equals the full evaluation."""
+        rng = np.random.default_rng(seed)
+        steps = random_steps(rng, n_steps)
+        matrix = rng.uniform(0.0, 1.0, size=(n_rows, n_steps))
+        fast = batch_totals(steps, matrix)
+        full = estimate_series_batch(steps, matrix).total_s
+        assert np.array_equal(fast, full)
+        assert np.array_equal(batch_totals(steps, matrix, validate=False), full)
+
+    def test_totals_fast_path_validates_by_default(self):
+        steps = random_steps(np.random.default_rng(3), 2)
+        with pytest.raises(CostModelError):
+            batch_totals(steps, [[1.5, 0.0]])
+
+
+class TestRatioGrid:
+    def test_grid_spacing_honours_delta(self):
+        """Regression: delta=0.03 used to silently produce spacing 0.0303..."""
+        grid = ratio_grid(0.03)
+        spacing = np.diff(grid[:-1])
+        assert np.allclose(spacing, 0.03, atol=1e-9)
+        assert grid[0] == 0.0
+        assert grid[-1] == 1.0
+        assert grid[-2] == pytest.approx(0.99)
+
+    def test_grid_unchanged_when_delta_divides_one(self):
+        grid = ratio_grid(0.02)
+        assert len(grid) == 51
+        assert np.allclose(np.diff(grid), 0.02, atol=1e-9)
+
+    @SETTINGS
+    @given(st.floats(min_value=0.005, max_value=1.0))
+    def test_grid_properties_any_delta(self, delta):
+        grid = ratio_grid(delta)
+        assert grid[0] == 0.0
+        assert grid[-1] == 1.0
+        assert np.all(np.diff(grid) > 0)
+        # every interior point is an exact multiple of delta (to rounding)
+        interior = grid[1:-1]
+        multiples = np.round(interior / delta)
+        assert np.allclose(interior, multiples * delta, atol=1e-9)
+
+
+class TestOptimizerParity:
+    """The batched optimisers must match the scalar evaluation path exactly."""
+
+    @SETTINGS
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_pl_identical_to_scalar_path(self, n_steps, seed):
+        steps = random_steps(np.random.default_rng(seed), n_steps)
+        batched = optimize_pl(steps, delta=0.1)
+        scalar = optimize_pl(steps, delta=0.1, use_batch=False)
+        assert batched.ratios == scalar.ratios
+        assert batched.evaluations == scalar.evaluations
+        assert batched.total_s == pytest.approx(scalar.total_s, abs=TOL, rel=TOL)
+
+    @SETTINGS
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_dd_and_ol_identical_to_scalar_path(self, n_steps, seed):
+        steps = random_steps(np.random.default_rng(seed), n_steps)
+        for fn in (optimize_dd, optimize_ol):
+            batched = fn(steps)
+            scalar = fn(steps, use_batch=False)
+            assert batched.ratios == scalar.ratios
+            assert batched.evaluations == scalar.evaluations
+            assert batched.total_s == pytest.approx(scalar.total_s, abs=TOL, rel=TOL)
+
+    def test_dd_result_estimate_is_reference_estimate(self):
+        steps = random_steps(np.random.default_rng(5), 4)
+        result = optimize_dd(steps)
+        reference = estimate_series(steps, result.ratios)
+        assert result.estimate.total_s == reference.total_s
+        assert result.estimate.cpu_step_s == reference.cpu_step_s
+
+    def test_dd_sweep_matches_scalar_series(self):
+        steps = random_steps(np.random.default_rng(6), 4)
+        for ratio, total in dd_sweep(steps, delta=0.25):
+            assert total == pytest.approx(
+                estimate_series(steps, [ratio] * 4).total_s, abs=TOL, rel=TOL
+            )
+
+
+class TestEstimateCache:
+    def test_totals_cached_and_consistent(self):
+        steps = random_steps(np.random.default_rng(9), 5)
+        matrix = np.random.default_rng(10).uniform(0, 1, size=(30, 5))
+        cache = EstimateCache()
+        first = cache.totals(steps, matrix)
+        assert cache.misses == 30 and cache.hits == 0
+        second = cache.totals(steps, matrix)
+        assert cache.hits == 30
+        assert np.array_equal(first, second)
+        assert np.array_equal(first, estimate_series_batch(steps, matrix).total_s)
+
+    def test_partial_hits_fill_only_missing_rows(self):
+        steps = random_steps(np.random.default_rng(11), 3)
+        cache = EstimateCache()
+        cache.totals(steps, [[0.1, 0.2, 0.3]])
+        totals = cache.totals(steps, [[0.1, 0.2, 0.3], [0.4, 0.5, 0.6]])
+        assert cache.hits == 1 and cache.misses == 2
+        assert totals[1] == pytest.approx(
+            estimate_series(steps, [0.4, 0.5, 0.6]).total_s, abs=TOL
+        )
+
+    def test_different_steps_do_not_collide(self):
+        rng = np.random.default_rng(12)
+        steps_a = random_steps(rng, 3)
+        steps_b = random_steps(rng, 3)
+        assert steps_fingerprint(steps_a) != steps_fingerprint(steps_b)
+        cache = EstimateCache()
+        ta = cache.totals(steps_a, [[0.5, 0.5, 0.5]])
+        tb = cache.totals(steps_b, [[0.5, 0.5, 0.5]])
+        assert ta[0] == estimate_series(steps_a, [0.5] * 3).total_s
+        assert tb[0] == estimate_series(steps_b, [0.5] * 3).total_s
+
+    def test_estimate_view_cached(self):
+        steps = random_steps(np.random.default_rng(13), 4)
+        cache = EstimateCache()
+        first = cache.estimate(steps, [0.25] * 4)
+        assert cache.misses == 1
+        second = cache.estimate(steps, [0.25] * 4)
+        assert cache.hits == 1
+        assert first.total_s == estimate_series(steps, [0.25] * 4).total_s
+        # Hits hand out copies: mutating one caller's estimate must not
+        # corrupt later hits for the same key.
+        first.cpu_step_s[0] = 123.0
+        third = cache.estimate(steps, [0.25] * 4)
+        assert third.cpu_step_s == second.cpu_step_s
+        assert third.cpu_step_s[0] != 123.0
+
+    def test_optimizers_with_cache_return_same_ratios(self):
+        steps = random_steps(np.random.default_rng(14), 6)
+        cache = EstimateCache()
+        assert optimize_pl(steps, cache=cache).ratios == optimize_pl(steps).ratios
+        # Coordinate descent revisits rows (DD start, repeated columns), so a
+        # single cached run already observes hits.
+        assert cache.hits > 0
+        hits = cache.hits
+        optimize_pl(steps, cache=cache)
+        assert cache.hits > hits  # a repeated optimisation is served from cache
+
+    def test_eviction_bounds_size(self):
+        steps = random_steps(np.random.default_rng(15), 2)
+        cache = EstimateCache(max_entries=16)
+        rng = np.random.default_rng(16)
+        for _ in range(10):
+            cache.totals(steps, rng.uniform(0, 1, size=(8, 2)))
+        assert len(cache) <= 16 + 8  # never grows past one refill beyond the cap
+
+
+class TestMonteCarloRegressions:
+    def test_relative_error_nan_for_degenerate_measurement(self):
+        sample = MonteCarloSample(ratios=[0.5], estimated_s=1.0, measured_s=0.0)
+        assert math.isnan(sample.relative_error)
+        sample = MonteCarloSample(ratios=[0.5], estimated_s=1.0, measured_s=-1.0)
+        assert math.isnan(sample.relative_error)
+
+    def test_error_quantile_excludes_degenerate_samples(self):
+        steps = [StepCost("s", 1_000, cpu_unit_s=1e-9, gpu_unit_s=1e-9)]
+        measured = iter([0.0, 1.0, 1.0, 1.0, 0.0, 1.0, 1.0, 1.0, 1.0, 1.0])
+
+        def measure(ratios):
+            return next(measured)
+
+        study = run_monte_carlo(steps, measure, [0.5], n_samples=9, seed=4)
+        errors = [s.relative_error for s in study.samples]
+        assert sum(math.isnan(e) for e in errors) == 2
+        finite = [e for e in errors if not math.isnan(e)]
+        expected = float(np.quantile(np.asarray(finite), 0.9))
+        assert study.error_quantile(0.9) == pytest.approx(expected)
+        assert not math.isnan(study.error_quantile(0.9))
+
+    def test_error_quantile_all_degenerate_is_nan(self):
+        steps = [StepCost("s", 1_000, cpu_unit_s=1e-9, gpu_unit_s=1e-9)]
+        study = run_monte_carlo(steps, lambda r: 0.0, [0.5], n_samples=5, seed=4)
+        assert math.isnan(study.error_quantile(0.9))
+
+    def test_batched_estimates_match_scalar(self):
+        steps = random_steps(np.random.default_rng(20), 5)
+        study = run_monte_carlo(steps, lambda r: 1.0, [0.5] * 5, n_samples=50, seed=21)
+        for sample in study.samples:
+            assert sample.estimated_s == pytest.approx(
+                estimate_series(steps, sample.ratios).total_s, abs=TOL, rel=TOL
+            )
+
+    def test_run_monte_carlo_accepts_cache(self):
+        steps = random_steps(np.random.default_rng(22), 4)
+        cache = EstimateCache()
+        first = run_monte_carlo(steps, lambda r: 1.0, [0.5] * 4, n_samples=20, seed=3, cache=cache)
+        misses = cache.misses
+        second = run_monte_carlo(steps, lambda r: 1.0, [0.5] * 4, n_samples=20, seed=3, cache=cache)
+        assert cache.misses == misses  # every row reused on the second run
+        assert [s.estimated_s for s in first.samples] == [
+            s.estimated_s for s in second.samples
+        ]
