@@ -47,8 +47,15 @@ from .hashjoin import (
     PartitionedHashJoin,
     SimpleHashJoin,
 )
+from .service import (
+    PlanRequest,
+    PlanResponse,
+    PlanService,
+    SharedEstimateCache,
+    shared_estimate_cache,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BasicUnitScheduler",
@@ -66,8 +73,12 @@ __all__ = [
     "Machine",
     "PartitionConfig",
     "PartitionedHashJoin",
+    "PlanRequest",
+    "PlanResponse",
+    "PlanService",
     "Relation",
     "Scheme",
+    "SharedEstimateCache",
     "SimpleHashJoin",
     "StepCost",
     "VariantConfig",
@@ -80,6 +91,7 @@ __all__ = [
     "optimize_pl",
     "run_all_variants",
     "run_join",
+    "shared_estimate_cache",
     "table1_rows",
     "__version__",
 ]

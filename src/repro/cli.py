@@ -7,16 +7,20 @@ Usage (after ``pip install -e .``)::
     python -m repro run headline --tuples 256000 --format markdown
     python -m repro report --tuples 100000 --output report.md
     python -m repro join --algorithm PHJ --scheme PL --tuples 500000
+    python -m repro plan workload.json --format json
 
 ``run`` executes a single experiment runner (see ``list`` for the names),
-``report`` executes every runner and writes one combined markdown report, and
-``join`` runs a single co-processed join and prints its breakdown.
+``report`` executes every runner and writes one combined markdown report,
+``join`` runs a single co-processed join and prints its breakdown, and
+``plan`` feeds a JSON workload of optimisation/what-if requests through the
+multi-query plan service (one batched cost-model pass per step series).
 """
 
 from __future__ import annotations
 
 import argparse
 import inspect
+import json
 import sys
 from typing import Callable, Sequence
 
@@ -24,6 +28,7 @@ from .core.joins import run_join
 from .data.workload import JoinWorkload
 from .experiments import ALL_EXPERIMENTS, ExperimentResult
 from .hardware.machine import coupled_machine, discrete_machine
+from .service import PlanService, SharedEstimateCache, WorkloadError, load_workload
 
 
 def _supports_argument(runner: Callable, name: str) -> bool:
@@ -103,6 +108,80 @@ def cmd_join(args: argparse.Namespace) -> int:
     return 0
 
 
+def _format_plans(responses, stats, fmt: str) -> str:
+    if fmt == "json":
+        return json.dumps(
+            {"plans": [r.to_dict() for r in responses], "stats": stats}, indent=2
+        )
+    if fmt == "markdown":
+        lines = [
+            "### Batch plan",
+            "",
+            "| id | scheme | total_s | evaluations | group | ratios |",
+            "| --- | --- | --- | --- | --- | --- |",
+        ]
+        for r in responses:
+            ratios = " ".join(f"{x:.2f}" for x in r.ratios)
+            lines.append(
+                f"| {r.request_id} | {r.scheme} | {r.total_s:.6f} | "
+                f"{r.evaluations} | {r.group_size} | {ratios} |"
+            )
+        cache = stats["cache"]
+        lines += [
+            "",
+            f"cache: {cache['hits']} hits / {cache['misses']} misses "
+            f"({cache['hit_rate']:.1%} hit rate), "
+            f"{stats['requests_deduplicated']} of {stats['requests_served']} "
+            "requests deduplicated",
+        ]
+        return "\n".join(lines)
+    lines = []
+    for r in responses:
+        ratios = [round(x, 2) for x in r.ratios]
+        lines.append(
+            f"{r.request_id:12s} scheme={r.scheme:8s} total={r.total_s:.6f} s  "
+            f"evaluations={r.evaluations:<6d} group={r.group_size}  ratios={ratios}"
+        )
+    cache = stats["cache"]
+    lines.append(
+        f"cache: {cache['hits']} hits / {cache['misses']} misses "
+        f"({cache['hit_rate']:.1%} hit rate), "
+        f"{stats['requests_deduplicated']} of {stats['requests_served']} "
+        "requests deduplicated"
+    )
+    return "\n".join(lines)
+
+
+def cmd_plan(args: argparse.Namespace) -> int:
+    try:
+        with open(args.workload, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except OSError as exc:
+        print(f"cannot read workload: {exc}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as exc:
+        print(f"workload is not valid JSON: {exc}", file=sys.stderr)
+        return 2
+    try:
+        requests = load_workload(payload)
+    except WorkloadError as exc:
+        print(f"invalid workload: {exc}", file=sys.stderr)
+        return 2
+
+    service = PlanService(
+        cache=None if args.shared_cache else SharedEstimateCache()
+    )
+    responses = service.plan_many(requests)
+    text = _format_plans(responses, service.stats(), args.format)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(text)
+    return 0
+
+
 # ---------------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -140,6 +219,21 @@ def build_parser() -> argparse.ArgumentParser:
                           default="coupled")
     sub_join.add_argument("--seed", type=int, default=42)
     sub_join.set_defaults(func=cmd_join)
+
+    sub_plan = subparsers.add_parser(
+        "plan",
+        help="answer a JSON workload of optimisation/what-if requests through "
+             "the multi-query plan service",
+    )
+    sub_plan.add_argument("workload", help="path to a JSON workload file")
+    sub_plan.add_argument("--format", choices=("text", "markdown", "json"),
+                          default="text")
+    sub_plan.add_argument("--output", default=None, help="write the plans to this file")
+    sub_plan.add_argument("--shared-cache", action="store_true",
+                          help="use the process-wide estimate cache instead of a "
+                               "fresh one (warm across repeated invocations in "
+                               "the same process)")
+    sub_plan.set_defaults(func=cmd_plan)
     return parser
 
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
-from ..costmodel.batch import EstimateCache
+from ..costmodel.batch import EstimateCache, shared_estimate_cache
 from ..data.relation import Relation
 from ..hardware.machine import Machine, coupled_machine
 from ..hashjoin.simple import HashJoinConfig
@@ -61,6 +61,7 @@ class JoinPlanner:
         pilot_fraction: float = 0.05,
         min_pilot_tuples: int = 2_000,
         max_pilot_tuples: int = 100_000,
+        cache: EstimateCache | None = None,
     ) -> None:
         if not 0.0 < pilot_fraction <= 1.0:
             raise ValueError("pilot_fraction must be in (0, 1]")
@@ -68,10 +69,13 @@ class JoinPlanner:
         self.pilot_fraction = pilot_fraction
         self.min_pilot_tuples = min_pilot_tuples
         self.max_pilot_tuples = max_pilot_tuples
-        #: Shared across every candidate evaluation this planner performs, so
-        #: identical calibrated steps (same pilot, different schemes/knobs)
-        #: reuse their cost-model evaluations instead of re-running them.
-        self.estimate_cache = EstimateCache()
+        #: Shared across every candidate evaluation this planner performs —
+        #: and, by default, with every other planner/optimiser/service in the
+        #: process (the thread-safe LRU from ``shared_estimate_cache``), so
+        #: repeated planning of similar workloads warms up across instances.
+        #: Cache keys are exact steps fingerprints, so sharing never changes
+        #: a result.  Pass a private :class:`EstimateCache` to opt out.
+        self.estimate_cache = cache if cache is not None else shared_estimate_cache()
 
     # ------------------------------------------------------------------
     def _pilot(self, relation: Relation) -> Relation:

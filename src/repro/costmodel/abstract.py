@@ -92,6 +92,17 @@ class SeriesEstimate:
             "intermediate_bytes": self.intermediate_bytes,
         }
 
+    def copy(self) -> "SeriesEstimate":
+        """Independent copy (the per-step vectors are mutable lists)."""
+        return SeriesEstimate(
+            ratios=list(self.ratios),
+            cpu_step_s=list(self.cpu_step_s),
+            gpu_step_s=list(self.gpu_step_s),
+            cpu_delay_s=list(self.cpu_delay_s),
+            gpu_delay_s=list(self.gpu_delay_s),
+            intermediate_bytes=self.intermediate_bytes,
+        )
+
 
 def pipeline_delays(
     cpu_step_s: Sequence[float],

@@ -29,6 +29,8 @@ evaluations across schemes and figures instead of re-running the engine.
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -39,8 +41,11 @@ from .abstract import CostModelError, SeriesEstimate, StepCost, estimate_series
 __all__ = [
     "BatchEstimate",
     "EstimateCache",
+    "SharedEstimateCache",
     "batch_totals",
     "estimate_series_batch",
+    "reset_shared_estimate_cache",
+    "shared_estimate_cache",
     "steps_fingerprint",
 ]
 
@@ -284,8 +289,15 @@ class EstimateCache:
     * :meth:`estimate` — a full scalar :class:`SeriesEstimate` for one
       vector, evaluated with the reference :func:`estimate_series`.
 
-    The cache is bounded: once ``max_entries`` totals are stored the table is
-    cleared (the workloads that benefit re-fill it within one experiment).
+    Entries are grouped into per-fingerprint buckets and the buckets form a
+    true LRU: every lookup refreshes its step series' recency, and inserting
+    past ``max_entries`` rows (a hard bound on the two views combined)
+    evicts the least recently used series of the inserting view first.
+    Evicting at fingerprint granularity keeps the hot per-row path
+    to one plain dict probe (the optimisers issue thousands of them per
+    planning call, so per-row recency bookkeeping would cost more than the
+    vectorized engine it saves), while a long-lived process-wide cache still
+    retires cold workloads instead of periodically dropping everything.
     """
 
     def __init__(self, max_entries: int = 500_000, decimals: int = 12) -> None:
@@ -293,25 +305,60 @@ class EstimateCache:
             raise ValueError("max_entries must be positive")
         self.max_entries = max_entries
         self.decimals = decimals
-        self._totals: dict[tuple, float] = {}
-        self._estimates: dict[tuple, SeriesEstimate] = {}
+        #: fingerprint -> {quantised row bytes -> total seconds}, LRU-ordered
+        #: by fingerprint access.
+        self._totals: OrderedDict[tuple, dict[bytes, float]] = OrderedDict()
+        self._estimates: OrderedDict[tuple, dict[bytes, SeriesEstimate]] = OrderedDict()
+        self._total_rows = 0
+        self._estimate_rows = 0
         self.hits = 0
         self.misses = 0
 
     # ------------------------------------------------------------------
-    def _row_keys(self, fingerprint: tuple, matrix: np.ndarray) -> list[tuple]:
+    def _row_keys(self, matrix: np.ndarray) -> list[bytes]:
         quantised = np.round(matrix, self.decimals)
-        return [(fingerprint, row.tobytes()) for row in quantised]
+        return [row.tobytes() for row in quantised]
+
+    @staticmethod
+    def _touch(
+        store: OrderedDict[tuple, dict], fingerprint: tuple
+    ) -> dict:
+        """The fingerprint's bucket, created on demand and marked recent."""
+        bucket = store.get(fingerprint)
+        if bucket is None:
+            bucket = store[fingerprint] = {}
+        store.move_to_end(fingerprint)
+        return bucket
+
+    def _evict(
+        self, store: OrderedDict[tuple, dict], rows: int, other_rows: int
+    ) -> int:
+        """Drop LRU buckets of ``store`` until both views fit the bound.
+
+        ``max_entries`` bounds the *combined* size of the totals and
+        estimates views; each insert evicts from its own view, counting the
+        sibling view's ``other_rows`` against the budget.
+        """
+        while rows + other_rows > self.max_entries and len(store) > 1:
+            _, dropped = store.popitem(last=False)
+            rows -= len(dropped)
+        if rows + other_rows > self.max_entries and store:
+            # A single series larger than the remaining budget: drop it
+            # outright (the hard bound matters more than keeping a runaway
+            # series).
+            _, dropped = store.popitem(last=False)
+            rows -= len(dropped)
+        return rows
 
     def totals(self, steps: Sequence[StepCost], ratio_matrix) -> np.ndarray:
         """Per-row ``total_s`` of the batch, reusing previously seen rows."""
         matrix = as_ratio_matrix(ratio_matrix, len(steps))
-        fingerprint = steps_fingerprint(steps)
-        keys = self._row_keys(fingerprint, matrix)
+        bucket = self._touch(self._totals, steps_fingerprint(steps))
+        keys = self._row_keys(matrix)
         out = np.empty(matrix.shape[0], dtype=np.float64)
         missing: list[int] = []
         for i, key in enumerate(keys):
-            cached = self._totals.get(key)
+            cached = bucket.get(key)
             if cached is None:
                 missing.append(i)
             else:
@@ -320,11 +367,15 @@ class EstimateCache:
         self.misses += len(missing)
         if missing:
             fresh = batch_totals(steps, matrix[missing], validate=False)
-            if len(self._totals) + len(missing) > self.max_entries:
-                self._totals.clear()
+            added = 0
             for i, total in zip(missing, fresh.tolist()):
                 out[i] = total
-                self._totals[keys[i]] = total
+                if keys[i] not in bucket:
+                    added += 1
+                bucket[keys[i]] = total
+            self._total_rows = self._evict(
+                self._totals, self._total_rows + added, self._estimate_rows
+            )
         return out
 
     def estimate(self, steps: Sequence[StepCost], ratios: Sequence[float]) -> SeriesEstimate:
@@ -335,28 +386,19 @@ class EstimateCache:
         in-place edits corrupt every later hit for the same key.
         """
         matrix = as_ratio_matrix(list(ratios), len(steps))
-        key = self._row_keys(steps_fingerprint(steps), matrix)[0]
-        cached = self._estimates.get(key)
+        bucket = self._touch(self._estimates, steps_fingerprint(steps))
+        key = self._row_keys(matrix)[0]
+        cached = bucket.get(key)
         if cached is not None:
             self.hits += 1
-            return self._copy_estimate(cached)
+            return cached.copy()
         self.misses += 1
         estimate = estimate_series(steps, list(ratios))
-        if len(self._estimates) >= self.max_entries:
-            self._estimates.clear()
-        self._estimates[key] = estimate
-        return self._copy_estimate(estimate)
-
-    @staticmethod
-    def _copy_estimate(estimate: SeriesEstimate) -> SeriesEstimate:
-        return SeriesEstimate(
-            ratios=list(estimate.ratios),
-            cpu_step_s=list(estimate.cpu_step_s),
-            gpu_step_s=list(estimate.gpu_step_s),
-            cpu_delay_s=list(estimate.cpu_delay_s),
-            gpu_delay_s=list(estimate.gpu_delay_s),
-            intermediate_bytes=estimate.intermediate_bytes,
+        bucket[key] = estimate
+        self._estimate_rows = self._evict(
+            self._estimates, self._estimate_rows + 1, self._total_rows
         )
+        return estimate.copy()
 
     # ------------------------------------------------------------------
     @property
@@ -365,16 +407,96 @@ class EstimateCache:
         return self.hits / lookups if lookups else 0.0
 
     def __len__(self) -> int:
-        return len(self._totals) + len(self._estimates)
+        return self._total_rows + self._estimate_rows
+
+    def fingerprints(self) -> list[tuple]:
+        """Cached step-series fingerprints, least recently used first."""
+        order = list(self._totals)
+        order.extend(fp for fp in self._estimates if fp not in self._totals)
+        return order
 
     def clear(self) -> None:
         self._totals.clear()
         self._estimates.clear()
+        self._total_rows = 0
+        self._estimate_rows = 0
         self.hits = 0
         self.misses = 0
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
-            f"EstimateCache(entries={len(self)}, hits={self.hits}, "
+            f"{type(self).__name__}(entries={len(self)}, hits={self.hits}, "
             f"misses={self.misses}, hit_rate={self.hit_rate:.1%})"
         )
+
+
+class SharedEstimateCache(EstimateCache):
+    """A thread-safe :class:`EstimateCache` for concurrent planning traffic.
+
+    Every public operation (lookups, insertions, hit/miss accounting, clears)
+    runs under one re-entrant lock, so the plan service and any number of
+    planner threads can hammer a single instance without losing counter
+    updates or corrupting the LRU order.  The lock is coarse on purpose: the
+    guarded work is a dict scan plus one vectorized engine call, and a coarse
+    section keeps ``hits + misses`` exactly equal to the number of rows ever
+    requested — the property the concurrency tests pin down.
+    """
+
+    def __init__(self, max_entries: int = 500_000, decimals: int = 12) -> None:
+        super().__init__(max_entries=max_entries, decimals=decimals)
+        self._lock = threading.RLock()
+
+    def totals(self, steps: Sequence[StepCost], ratio_matrix) -> np.ndarray:
+        with self._lock:
+            return super().totals(steps, ratio_matrix)
+
+    def estimate(self, steps: Sequence[StepCost], ratios: Sequence[float]) -> SeriesEstimate:
+        with self._lock:
+            return super().estimate(steps, ratios)
+
+    def clear(self) -> None:
+        with self._lock:
+            super().clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return super().__len__()
+
+    def stats(self) -> dict[str, float | int]:
+        """Consistent snapshot of the cache counters."""
+        with self._lock:
+            return {
+                "entries": super().__len__(),
+                "max_entries": self.max_entries,
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": self.hit_rate,
+            }
+
+
+#: Lazily created process-wide cache shared by planners, optimisers and the
+#: plan service, so repeated planning of similar workloads warms up across
+#: call sites instead of each caller paying for a private throwaway cache.
+_SHARED_CACHE: SharedEstimateCache | None = None
+_SHARED_CACHE_LOCK = threading.Lock()
+
+#: Default bound of the process-wide cache; smaller than a private cache's
+#: default because it lives for the whole process.
+SHARED_CACHE_MAX_ENTRIES = 262_144
+
+
+def shared_estimate_cache() -> SharedEstimateCache:
+    """The process-wide :class:`SharedEstimateCache` (created on first use)."""
+    global _SHARED_CACHE
+    with _SHARED_CACHE_LOCK:
+        if _SHARED_CACHE is None:
+            _SHARED_CACHE = SharedEstimateCache(max_entries=SHARED_CACHE_MAX_ENTRIES)
+        return _SHARED_CACHE
+
+
+def reset_shared_estimate_cache() -> SharedEstimateCache:
+    """Replace the process-wide cache with a fresh one (mainly for tests)."""
+    global _SHARED_CACHE
+    with _SHARED_CACHE_LOCK:
+        _SHARED_CACHE = SharedEstimateCache(max_entries=SHARED_CACHE_MAX_ENTRIES)
+        return _SHARED_CACHE

@@ -17,7 +17,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from .abstract import StepCost, estimate_series
-from .batch import EstimateCache, estimate_series_batch
+from .batch import EstimateCache, estimate_series_batch, shared_estimate_cache
 
 #: Measurement callback: ratios -> measured (simulated) seconds.
 MeasureFn = Callable[[Sequence[float]], float]
@@ -118,16 +118,22 @@ def run_monte_carlo(
     seed: int = 2013,
     delta: float = 0.02,
     cache: EstimateCache | None = None,
+    use_shared_cache: bool = True,
 ) -> MonteCarloStudy:
     """Run the Figure 9 experiment.
 
     ``measure`` maps a ratio vector to its measured (simulated) elapsed time;
     ``chosen_ratios`` is the cost model's own pick, measured the same way.
-    All random ratio vectors are estimated in one vectorized batch (through
-    ``cache`` when given), so the model-side cost of the study is a single
-    ``estimate_series_batch`` call.
+    All random ratio vectors are estimated in one vectorized batch, so the
+    model-side cost of the study is a single ``estimate_series_batch`` call.
+    The batch goes through ``cache`` when given — or, by default, through the
+    process-wide :func:`shared_estimate_cache`, so repeated studies over the
+    same calibrated steps reuse their rows; ``use_shared_cache=False``
+    restores the uncached direct engine call.
     """
     vectors = sample_ratio_vectors(len(steps), n_samples, seed=seed, delta=delta)
+    if cache is None and use_shared_cache:
+        cache = shared_estimate_cache()
     if cache is not None:
         estimated_totals = cache.totals(steps, vectors)
     else:

@@ -30,7 +30,7 @@ from typing import Sequence
 import numpy as np
 
 from .abstract import SeriesEstimate, StepCost, estimate_series
-from .batch import EstimateCache, as_ratio_matrix, batch_totals
+from .batch import EstimateCache, as_ratio_matrix, batch_totals, steps_fingerprint
 
 #: Ratio granularity used by the paper.
 DEFAULT_DELTA = 0.02
@@ -57,11 +57,36 @@ def ratio_grid(delta: float = DEFAULT_DELTA) -> np.ndarray:
     return grid
 
 
-class _SeriesEvaluator:
+#: ``optimize_ol`` enumerates all 2^n assignments up to this series length;
+#: longer series fall back to the per-step device preference.
+OL_ENUMERATION_LIMIT = 12
+
+
+def dd_candidate_matrix(n_steps: int, delta: float = DEFAULT_DELTA) -> np.ndarray:
+    """The exact ``(len(grid), n_steps)`` candidate matrix ``optimize_dd``
+    scans: each delta-grid ratio repeated across every step.
+
+    Exposed so batching layers (the plan service) can prefill precisely the
+    rows the optimiser will evaluate, in the same order.
+    """
+    return np.repeat(ratio_grid(delta)[:, np.newaxis], n_steps, axis=1)
+
+
+def ol_candidate_matrix(n_steps: int) -> np.ndarray:
+    """The exact ``(2**n_steps, n_steps)`` enumeration ``optimize_ol`` scans
+    for series up to :data:`OL_ENUMERATION_LIMIT` steps."""
+    matrix = np.array(list(product((0.0, 1.0), repeat=n_steps)), dtype=np.float64)
+    return matrix.reshape(-1, n_steps)
+
+
+class SeriesEvaluator:
     """Routes candidate evaluations through the batch engine (or scalar loop).
 
     Counts one evaluation per candidate row so the reported ``evaluations``
-    match the historical scalar implementation exactly.
+    match the historical scalar implementation exactly.  One evaluator can be
+    injected into several ``optimize_*`` calls over the same calibrated steps
+    (the multi-query plan service does this) so they share a cache and an
+    evaluation counter.
     """
 
     def __init__(
@@ -100,6 +125,27 @@ class _SeriesEvaluator:
         return estimate_series(self.steps, list(ratios))
 
 
+#: Backwards-compatible alias (the evaluator was private before the plan
+#: service started injecting it).
+_SeriesEvaluator = SeriesEvaluator
+
+
+def _resolve_evaluator(
+    steps: Sequence[StepCost],
+    cache: EstimateCache | None,
+    use_batch: bool,
+    evaluator: SeriesEvaluator | None,
+) -> SeriesEvaluator:
+    """Use the injected evaluator, or build a private one for this call."""
+    if evaluator is None:
+        return SeriesEvaluator(steps, cache=cache, use_batch=use_batch)
+    if steps_fingerprint(evaluator.steps) != steps_fingerprint(steps):
+        raise OptimizerError(
+            "injected evaluator was built for a different step series"
+        )
+    return evaluator
+
+
 @dataclass
 class OptimizationResult:
     """Chosen ratios plus the cost model's estimate for them."""
@@ -122,22 +168,22 @@ def optimize_dd(
     delta: float = DEFAULT_DELTA,
     cache: EstimateCache | None = None,
     use_batch: bool = True,
+    evaluator: SeriesEvaluator | None = None,
 ) -> OptimizationResult:
     """Best single workload ratio for the whole step series.
 
     The whole delta grid is evaluated as one batch; ties resolve to the
     smallest ratio, as in a first-strictly-better scan of the grid.
     """
-    grid = ratio_grid(delta)
-    evaluator = _SeriesEvaluator(steps, cache=cache, use_batch=use_batch)
-    matrix = np.repeat(grid[:, np.newaxis], len(steps), axis=1)
+    evaluator = _resolve_evaluator(steps, cache, use_batch, evaluator)
+    start = evaluator.evaluations
+    matrix = dd_candidate_matrix(len(steps), delta)
     totals = evaluator.totals(matrix)
-    index = int(np.argmin(totals)) if len(steps) else 0
-    ratios = [float(grid[index])] * len(steps)
+    ratios = matrix[int(np.argmin(totals))].tolist()
     return OptimizationResult(
         ratios=ratios,
         estimate=evaluator.estimate(ratios),
-        evaluations=evaluator.evaluations,
+        evaluations=evaluator.evaluations - start,
         scheme="DD",
     )
 
@@ -146,12 +192,12 @@ def dd_sweep(
     steps: Sequence[StepCost],
     delta: float = DEFAULT_DELTA,
     cache: EstimateCache | None = None,
+    evaluator: SeriesEvaluator | None = None,
 ) -> list[tuple[float, float]]:
     """(ratio, estimated seconds) pairs for the DD ratio sweep (Figure 7)."""
     grid = ratio_grid(delta)
-    evaluator = _SeriesEvaluator(steps, cache=cache)
-    matrix = np.repeat(grid[:, np.newaxis], len(steps), axis=1)
-    totals = evaluator.totals(matrix)
+    evaluator = _resolve_evaluator(steps, cache, True, evaluator)
+    totals = evaluator.totals(dd_candidate_matrix(len(steps), delta))
     return [(float(r), float(t)) for r, t in zip(grid, totals)]
 
 
@@ -162,6 +208,7 @@ def optimize_ol(
     steps: Sequence[StepCost],
     cache: EstimateCache | None = None,
     use_batch: bool = True,
+    evaluator: SeriesEvaluator | None = None,
 ) -> OptimizationResult:
     """Best 0/1 assignment per step.
 
@@ -172,17 +219,16 @@ def optimize_ol(
     the paper's description.
     """
     n = len(steps)
-    evaluator = _SeriesEvaluator(steps, cache=cache, use_batch=use_batch)
-    if n <= 12:
-        assignments = np.array(list(product((0.0, 1.0), repeat=n)), dtype=np.float64)
-        if assignments.ndim == 1:  # n == 0 degenerates to one empty assignment
-            assignments = assignments.reshape(1, 0)
+    evaluator = _resolve_evaluator(steps, cache, use_batch, evaluator)
+    start = evaluator.evaluations
+    if n <= OL_ENUMERATION_LIMIT:
+        assignments = ol_candidate_matrix(n)
         totals = evaluator.totals(assignments)
         ratios = assignments[int(np.argmin(totals))].tolist()
         return OptimizationResult(
             ratios=ratios,
             estimate=evaluator.estimate(ratios),
-            evaluations=evaluator.evaluations,
+            evaluations=evaluator.evaluations - start,
             scheme="OL",
         )
 
@@ -203,6 +249,7 @@ def optimize_pl(
     exhaustive_delta: float = 0.1,
     cache: EstimateCache | None = None,
     use_batch: bool = True,
+    evaluator: SeriesEvaluator | None = None,
 ) -> OptimizationResult:
     """Per-step ratios minimising the estimated series time.
 
@@ -219,12 +266,12 @@ def optimize_pl(
         raise OptimizerError("cannot optimise an empty step series")
 
     grid = ratio_grid(delta)
-    evaluator = _SeriesEvaluator(steps, cache=cache, use_batch=use_batch)
+    evaluator = _resolve_evaluator(steps, cache, use_batch, evaluator)
+    start_evaluations = evaluator.evaluations
 
     candidates: list[list[float]] = []
-    # Start 1: the DD optimum.
-    dd = optimize_dd(steps, delta, cache=cache, use_batch=use_batch)
-    evaluator.evaluations += dd.evaluations
+    # Start 1: the DD optimum (counted through the shared evaluator).
+    dd = optimize_dd(steps, delta, evaluator=evaluator)
     candidates.append(list(dd.ratios))
     # Start 2: per-step device preference (OL-like).
     candidates.append([0.0 if s.gpu_unit_s <= s.cpu_unit_s else 1.0 for s in steps])
@@ -275,7 +322,7 @@ def optimize_pl(
     return OptimizationResult(
         ratios=best_ratios,
         estimate=evaluator.estimate(best_ratios),
-        evaluations=evaluator.evaluations,
+        evaluations=evaluator.evaluations - start_evaluations,
         scheme="PL",
     )
 
@@ -285,18 +332,19 @@ def optimize_scheme(
     steps: Sequence[StepCost],
     delta: float = DEFAULT_DELTA,
     cache: EstimateCache | None = None,
+    evaluator: SeriesEvaluator | None = None,
 ) -> OptimizationResult:
     """Dispatch to the optimiser of a named co-processing scheme."""
     scheme = scheme.upper()
     if scheme == "DD":
-        return optimize_dd(steps, delta, cache=cache)
+        return optimize_dd(steps, delta, cache=cache, evaluator=evaluator)
     if scheme == "OL":
-        return optimize_ol(steps, cache=cache)
+        return optimize_ol(steps, cache=cache, evaluator=evaluator)
     if scheme == "PL":
-        return optimize_pl(steps, delta, cache=cache)
+        return optimize_pl(steps, delta, cache=cache, evaluator=evaluator)
     if scheme in ("CPU", "CPU-ONLY", "GPU", "GPU-ONLY"):
         ratios = [1.0 if scheme.startswith("CPU") else 0.0] * len(steps)
-        evaluator = _SeriesEvaluator(steps, cache=cache)
+        evaluator = _resolve_evaluator(steps, cache, True, evaluator)
         return OptimizationResult(
             ratios, evaluator.estimate(ratios), scheme=scheme[:3]
         )

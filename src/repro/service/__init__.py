@@ -1,0 +1,36 @@
+"""Multi-query plan service over the batched cost-model engine.
+
+``PlanService`` accepts many concurrent optimisation/what-if requests,
+groups them by their calibrated-steps fingerprint, and evaluates the stacked
+candidate ratio matrices through one process-wide, thread-safe, LRU-evicting
+``SharedEstimateCache`` — so N similar planning questions cost about one
+vectorized engine invocation instead of N scalar optimisations.
+"""
+
+from ..costmodel.batch import (
+    SharedEstimateCache,
+    reset_shared_estimate_cache,
+    shared_estimate_cache,
+)
+from .api import (
+    OPTIMIZE_SCHEMES,
+    WHAT_IF,
+    PlanRequest,
+    PlanResponse,
+    WorkloadError,
+    load_workload,
+)
+from .service import PlanService
+
+__all__ = [
+    "OPTIMIZE_SCHEMES",
+    "PlanRequest",
+    "PlanResponse",
+    "PlanService",
+    "SharedEstimateCache",
+    "WHAT_IF",
+    "WorkloadError",
+    "load_workload",
+    "reset_shared_estimate_cache",
+    "shared_estimate_cache",
+]

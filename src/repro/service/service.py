@@ -1,0 +1,216 @@
+"""The multi-query plan service (ROADMAP: service layer over the batch engine).
+
+:class:`PlanService` answers many optimisation/what-if requests against the
+abstract cost model at once.  ``plan_many`` turns a batch of N requests into
+~one vectorized engine invocation per distinct step series:
+
+1. **Dedup** — requests with an identical task key (steps fingerprint,
+   scheme, delta, what-if ratios) are solved once and share the answer.
+2. **Stack** — every surviving grid-shaped task contributes the exact
+   candidate matrix its optimiser scans (the DD delta grid, OL's 0/1
+   enumeration); candidates of tasks over the same step series are stacked
+   into one matrix and evaluated by a single ``SharedEstimateCache.totals``
+   call, i.e. one ``batch_totals`` pass.
+3. **Solve** — grid-shaped tasks pick their answer straight from their
+   stacked slice; WHAT-IF/CPU/GPU answers are one cached scalar estimate
+   each; PL tasks run their coordinate descent on the raw batch engine
+   (descent rows rarely repeat, so dedup — not memoisation — is the PL
+   win).
+
+The cache defaults to the process-wide
+:func:`~repro.costmodel.batch.shared_estimate_cache`, so repeated service
+calls (and planner traffic outside the service) keep warming the same store.
+With that default (or any :class:`SharedEstimateCache`) every entry point is
+thread-safe: the cache serialises its own mutations and the service's
+counters take a private lock, so concurrent ``plan`` calls from a thread
+pool return exactly what the single-threaded path would.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter, OrderedDict
+from typing import Any, Iterable
+
+import numpy as np
+
+from ..costmodel.abstract import StepCost
+from ..costmodel.batch import EstimateCache, shared_estimate_cache
+from ..costmodel.optimizer import (
+    OL_ENUMERATION_LIMIT,
+    OptimizationResult,
+    SeriesEvaluator,
+    dd_candidate_matrix,
+    ol_candidate_matrix,
+    optimize_scheme,
+)
+from .api import WHAT_IF, PlanRequest, PlanResponse, WorkloadError
+
+__all__ = ["PlanService"]
+
+
+class PlanService:
+    """Serve batches of cost-model planning requests off one shared cache.
+
+    ``cache`` defaults to the process-wide thread-safe
+    :func:`shared_estimate_cache`.  The service is only as thread-safe as
+    the cache it is given: pass a :class:`SharedEstimateCache` (or keep the
+    default) when calling ``plan``/``plan_many`` from multiple threads — a
+    plain :class:`EstimateCache` is fine for single-threaded use only.
+    """
+
+    def __init__(self, cache: EstimateCache | None = None) -> None:
+        self.cache = cache if cache is not None else shared_estimate_cache()
+        self._lock = threading.Lock()
+        self.requests_served = 0
+        self.tasks_solved = 0
+        self.requests_deduplicated = 0
+
+    # ------------------------------------------------------------------
+    def plan(self, request: PlanRequest) -> PlanResponse:
+        """Answer one request (still batched through the shared cache)."""
+        return self.plan_many([request])[0]
+
+    def plan_many(self, requests: Iterable[PlanRequest]) -> list[PlanResponse]:
+        """Answer a batch of requests; one response per request, in order."""
+        batch = list(requests)
+        for request in batch:
+            if not isinstance(request, PlanRequest):
+                raise WorkloadError(
+                    f"expected PlanRequest, got {type(request).__name__}"
+                )
+        if not batch:
+            return []
+
+        # 1. Dedup identical tasks; remember how many requests share each.
+        tasks: OrderedDict[tuple, PlanRequest] = OrderedDict()
+        for request in batch:
+            tasks.setdefault(request.task_key, request)
+        group_sizes = Counter(request.task_key for request in batch)
+
+        # 2. Stack every grid-shaped task's candidate matrix per step series
+        #    and evaluate each stack with one engine call (through the shared
+        #    cache, so repeated workloads hit instead of recomputing).
+        stacks: OrderedDict[tuple, list[tuple[tuple, np.ndarray]]] = OrderedDict()
+        steps_for: dict[tuple, tuple[StepCost, ...]] = {}
+        for key, task in tasks.items():
+            matrix = self._candidate_matrix(task)
+            if matrix is None or not matrix.size:
+                continue
+            stacks.setdefault(task.fingerprint, []).append((key, matrix))
+            steps_for[task.fingerprint] = task.steps
+        grids: dict[tuple, tuple[np.ndarray, np.ndarray]] = {}
+        for fingerprint, entries in stacks.items():
+            stacked = np.vstack([matrix for _, matrix in entries])
+            totals = self.cache.totals(steps_for[fingerprint], stacked)
+            offset = 0
+            for key, matrix in entries:
+                grids[key] = (matrix, totals[offset : offset + matrix.shape[0]])
+                offset += matrix.shape[0]
+
+        # 3. Solve each unique task (grid-shaped tasks straight from their
+        #    stacked slice, PL through its optimiser).
+        answers = {
+            key: self._solve(task, grids.get(key)) for key, task in tasks.items()
+        }
+
+        responses: list[PlanResponse] = []
+        charged: set[tuple] = set()
+        for request in batch:
+            result = answers[request.task_key]
+            first = request.task_key not in charged
+            charged.add(request.task_key)
+            responses.append(
+                PlanResponse(
+                    request_id=request.request_id,
+                    scheme=request.scheme,
+                    ratios=list(result.ratios),
+                    estimate=result.estimate.copy(),
+                    evaluations=result.evaluations if first else 0,
+                    group_size=group_sizes[request.task_key],
+                )
+            )
+
+        with self._lock:
+            self.requests_served += len(batch)
+            self.tasks_solved += len(tasks)
+            self.requests_deduplicated += len(batch) - len(tasks)
+        return responses
+
+    # ------------------------------------------------------------------
+    def _candidate_matrix(self, task: PlanRequest) -> np.ndarray | None:
+        """The task's up-front candidate ratio vectors, as an (m, n) matrix.
+
+        These are exactly the rows the task's solver scans (built by the
+        optimiser module's own candidate builders, so they cannot drift from
+        ``optimize_dd``/``optimize_ol``), letting one ``batch_totals`` pass
+        pay for every task of the series.  Tasks whose answer does not read
+        a totals grid return ``None``: PL discovers its descent rows on the
+        fly and runs on the raw engine (see :meth:`_solve`), and the
+        WHAT-IF/CPU/GPU answers need one full scalar estimate, not grid
+        totals.
+        """
+        n = len(task.steps)
+        if task.scheme == "DD":
+            return dd_candidate_matrix(n, task.delta)
+        if task.scheme == "OL" and n <= OL_ENUMERATION_LIMIT:
+            return ol_candidate_matrix(n)
+        return None
+
+    def _solve(
+        self,
+        task: PlanRequest,
+        grid: tuple[np.ndarray, np.ndarray] | None,
+    ) -> OptimizationResult:
+        """One task's answer; bit-identical to the ``optimize_*`` reference.
+
+        Grid-shaped tasks pick their answer from the stacked slice with the
+        same first-minimum scan their optimiser would run over the same
+        totals, so the chosen ratios (and tie-breaks) are identical.  PL runs
+        its coordinate descent on the raw batch engine: descent rows almost
+        never repeat, so per-row memoisation costs more than the vectorized
+        recompute and the service's PL win comes from deduplication instead.
+        """
+        steps = task.steps
+        scheme = task.scheme
+        if scheme == WHAT_IF:
+            ratios = list(task.ratios or ())
+            estimate = self.cache.estimate(steps, ratios)
+            return OptimizationResult(
+                ratios=ratios, estimate=estimate, evaluations=1, scheme=WHAT_IF
+            )
+        if grid is not None:
+            # DD's delta grid and OL's 0/1 enumeration: first minimum of the
+            # slice, exactly like np.argmin over the optimiser's own batch.
+            matrix, totals = grid
+            ratios = matrix[int(np.argmin(totals))].tolist()
+            return OptimizationResult(
+                ratios=ratios,
+                estimate=self.cache.estimate(steps, ratios),
+                evaluations=int(matrix.shape[0]),
+                scheme=scheme,
+            )
+        cache = None if scheme == "PL" else self.cache
+        evaluator = SeriesEvaluator(steps, cache=cache)
+        return optimize_scheme(scheme, steps, task.delta, evaluator=evaluator)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, Any]:
+        """Service counters plus a consistent cache snapshot."""
+        cache_stats = (
+            self.cache.stats()
+            if hasattr(self.cache, "stats")
+            else {
+                "entries": len(self.cache),
+                "hits": self.cache.hits,
+                "misses": self.cache.misses,
+                "hit_rate": self.cache.hit_rate,
+            }
+        )
+        with self._lock:
+            return {
+                "requests_served": self.requests_served,
+                "tasks_solved": self.tasks_solved,
+                "requests_deduplicated": self.requests_deduplicated,
+                "cache": cache_stats,
+            }

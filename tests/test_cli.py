@@ -2,9 +2,12 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.costmodel import StepCost, estimate_series, optimize_scheme
 
 
 class TestParser:
@@ -65,3 +68,116 @@ class TestCommands:
         assert "# Reproduction report" in text
         assert "Figure 4" in text
         assert "Table 1" in text
+
+
+def _steps_payload():
+    return [
+        {"name": "build", "n_tuples": 80_000, "cpu_unit_s": 1.2e-8,
+         "gpu_unit_s": 6e-9},
+        {"name": "probe", "n_tuples": 120_000, "cpu_unit_s": 9e-9,
+         "gpu_unit_s": 1.1e-8},
+    ]
+
+
+def _steps():
+    return [
+        StepCost(s["name"], s["n_tuples"], cpu_unit_s=s["cpu_unit_s"],
+                 gpu_unit_s=s["gpu_unit_s"])
+        for s in _steps_payload()
+    ]
+
+
+def _workload(tmp_path, payload) -> str:
+    path = tmp_path / "workload.json"
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+class TestPlanCommand:
+    def test_json_round_trip_matches_optimizers(self, tmp_path, capsys):
+        """JSON workload in -> JSON plans out, equal to per-request answers."""
+        workload = _workload(tmp_path, {
+            "requests": [
+                {"id": "q-pl", "scheme": "PL", "steps": _steps_payload()},
+                {"id": "q-dd", "scheme": "DD", "steps": _steps_payload()},
+                {"id": "q-wi", "scheme": "WHAT-IF", "ratios": [0.5, 0.25],
+                 "steps": _steps_payload()},
+            ]
+        })
+        assert main(["plan", workload, "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        plans = {p["id"]: p for p in payload["plans"]}
+        assert set(plans) == {"q-pl", "q-dd", "q-wi"}
+
+        for scheme, plan_id in (("PL", "q-pl"), ("DD", "q-dd")):
+            reference = optimize_scheme(scheme, _steps())
+            assert plans[plan_id]["ratios"] == pytest.approx(reference.ratios)
+            assert plans[plan_id]["total_s"] == pytest.approx(reference.total_s)
+        what_if = estimate_series(_steps(), [0.5, 0.25])
+        assert plans["q-wi"]["total_s"] == pytest.approx(what_if.total_s)
+        assert payload["stats"]["requests_served"] == 3
+
+    def test_output_file_and_delta_default(self, tmp_path, capsys):
+        workload = _workload(tmp_path, {
+            "delta": 0.25,
+            "requests": [{"id": "a", "scheme": "DD", "steps": _steps_payload()}],
+        })
+        output = tmp_path / "plans.json"
+        assert main(["plan", workload, "--format", "json",
+                     "--output", str(output)]) == 0
+        assert "wrote" in capsys.readouterr().err
+        plan = json.loads(output.read_text())["plans"][0]
+        reference = optimize_scheme("DD", _steps(), 0.25)
+        assert plan["ratios"] == pytest.approx(reference.ratios)
+
+    def test_text_and_markdown_format_parity(self, tmp_path, capsys):
+        """--format accepts the run/report choices and renders every plan."""
+        workload = _workload(tmp_path, {
+            "requests": [
+                {"id": "q0", "scheme": "OL", "steps": _steps_payload()},
+                {"id": "q1", "scheme": "GPU", "steps": _steps_payload()},
+            ]
+        })
+        assert main(["plan", workload]) == 0
+        text = capsys.readouterr().out
+        assert "q0" in text and "q1" in text
+        assert "scheme=OL" in text
+        assert "cache:" in text
+
+        assert main(["plan", workload, "--format", "markdown"]) == 0
+        markdown = capsys.readouterr().out
+        assert markdown.lstrip().startswith("### Batch plan")
+        assert "| id | scheme |" in markdown
+        assert "| q0 | OL |" in markdown
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["plan", str(tmp_path / "nope.json")]) == 2
+        assert "cannot read workload" in capsys.readouterr().err
+
+    def test_invalid_json_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        assert main(["plan", str(path)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_malformed_workloads_exit_2(self, tmp_path, capsys):
+        for payload in (
+            {},  # missing 'requests'
+            {"requests": []},  # empty workload
+            {"requests": [{"scheme": "PL"}]},  # request without steps
+            {"requests": [{"scheme": "TURBO", "steps": _steps_payload()}]},
+            {"requests": [{"scheme": "WHAT-IF", "steps": _steps_payload()}]},
+            {"requests": [{"scheme": "PL", "delta": 0,
+                           "steps": _steps_payload()}]},
+            {"requests": [{"scheme": "PL", "steps": [
+                {"name": "bad", "n_tuples": 10, "cpu_unit_s": -1,
+                 "gpu_unit_s": 1e-9}]}]},
+        ):
+            assert main(["plan", _workload(tmp_path, payload)]) == 2, payload
+            assert "invalid workload" in capsys.readouterr().err
+
+    def test_parses_plan_defaults(self):
+        args = build_parser().parse_args(["plan", "w.json"])
+        assert args.format == "text"
+        assert args.output is None
+        assert not args.shared_cache

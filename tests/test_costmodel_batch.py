@@ -286,7 +286,92 @@ class TestEstimateCache:
         rng = np.random.default_rng(16)
         for _ in range(10):
             cache.totals(steps, rng.uniform(0, 1, size=(8, 2)))
-        assert len(cache) <= 16 + 8  # never grows past one refill beyond the cap
+            assert len(cache) <= 16  # hard bound, enforced on every insert
+
+
+class TestLRUEviction:
+    """Regression: ``max_entries`` used to be accepted but never enforced."""
+
+    def test_size_bound_and_hottest_series_survive(self):
+        """max_entries + k inserted rows: bound holds, hot keys stay cached."""
+        rng = np.random.default_rng(40)
+        all_series = [random_steps(rng, 3) for _ in range(5)]
+        matrices = [rng.uniform(0, 1, size=(30, 3)) for _ in range(5)]
+        cache = EstimateCache(max_entries=100)
+
+        # 150 rows pushed through a 100-row cache, touching series 0-2 first.
+        for k in range(3):
+            cache.totals(all_series[k], matrices[k])
+        assert len(cache) == 90
+        cache.totals(all_series[1], matrices[1])  # refresh series 1: all hits
+        assert cache.hits == 30
+        for k in (3, 4):
+            cache.totals(all_series[k], matrices[k])
+
+        assert len(cache) <= 100
+        cached = cache.fingerprints()
+        # Least recently used series (0, then 2) were evicted; the refreshed
+        # series 1 and the most recent insertions survive.
+        assert steps_fingerprint(all_series[0]) not in cached
+        assert steps_fingerprint(all_series[2]) not in cached
+        for k in (1, 3, 4):
+            assert steps_fingerprint(all_series[k]) in cached
+
+        # Surviving rows are served without recomputation.
+        misses = cache.misses
+        cache.totals(all_series[1], matrices[1])
+        cache.totals(all_series[4], matrices[4])
+        assert cache.misses == misses
+
+    def test_evicted_series_recomputed_consistently(self):
+        rng = np.random.default_rng(41)
+        all_series = [random_steps(rng, 2) for _ in range(3)]
+        matrix = rng.uniform(0, 1, size=(20, 2))
+        cache = EstimateCache(max_entries=40)
+        first = cache.totals(all_series[0], matrix)
+        cache.totals(all_series[1], matrix)
+        cache.totals(all_series[2], matrix)  # evicts series 0
+        assert steps_fingerprint(all_series[0]) not in cache.fingerprints()
+        again = cache.totals(all_series[0], matrix)  # recomputed, same values
+        assert np.array_equal(first, again)
+
+    def test_single_series_larger_than_bound_still_bounded(self):
+        steps = random_steps(np.random.default_rng(42), 2)
+        cache = EstimateCache(max_entries=10)
+        cache.totals(steps, np.random.default_rng(43).uniform(0, 1, size=(25, 2)))
+        assert len(cache) <= 10
+
+    def test_estimate_view_evicts_lru_series(self):
+        rng = np.random.default_rng(44)
+        all_series = [random_steps(rng, 2) for _ in range(3)]
+        cache = EstimateCache(max_entries=2)
+        cache.estimate(all_series[0], [0.5, 0.5])
+        cache.estimate(all_series[1], [0.5, 0.5])
+        cache.estimate(all_series[0], [0.25, 0.25])  # refreshes series 0
+        cache.estimate(all_series[2], [0.5, 0.5])  # series 1 is now the LRU
+        assert len(cache) <= 2
+        misses = cache.misses
+        cache.estimate(all_series[2], [0.5, 0.5])
+        assert cache.misses == misses  # most recent entry still cached
+        cache.estimate(all_series[1], [0.5, 0.5])
+        assert cache.misses == misses + 1  # the LRU series was evicted
+
+    def test_bound_is_combined_across_totals_and_estimates(self):
+        """max_entries caps the two views together, not each separately."""
+        rng = np.random.default_rng(45)
+        all_series = [random_steps(rng, 2) for _ in range(3)]
+        cache = EstimateCache(max_entries=20)
+        cache.totals(all_series[0], rng.uniform(0, 1, size=(15, 2)))
+        for k in range(10):
+            cache.estimate(all_series[1], [k / 10.0] * 2)
+            assert len(cache) <= 20
+        # Totals inserts also count the estimate view against the budget.
+        cache.totals(all_series[2], rng.uniform(0, 1, size=(15, 2)))
+        assert len(cache) <= 20
+
+    def test_max_entries_must_be_positive(self):
+        with pytest.raises(ValueError):
+            EstimateCache(max_entries=0)
 
 
 class TestMonteCarloRegressions:
