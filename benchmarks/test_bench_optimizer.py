@@ -9,8 +9,6 @@ path (``use_batch=False``), and assert the results stay identical.
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
 from repro.costmodel import (
@@ -38,52 +36,45 @@ def _eight_step_series() -> list[StepCost]:
     ]
 
 
-def _best_seconds(fn, repeats: int = 3) -> float:
-    best = float("inf")
-    for _ in range(repeats):
-        start = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - start)
-    return best
-
-
-def test_bench_batch_engine_vs_scalar_rows(benchmark):
+def test_bench_batch_engine_vs_scalar_rows(benchmark, bench_summary, best_seconds):
     """Raw engine: a 1000-row batch versus 1000 scalar evaluations."""
     steps = _eight_step_series()
     matrix = np.random.default_rng(7).uniform(0.0, 1.0, size=(1000, N_STEPS))
 
     batch_totals = benchmark(lambda: estimate_series_batch(steps, matrix).total_s)
-    scalar_s = _best_seconds(
+    scalar_s = best_seconds(
         lambda: [estimate_series(steps, row.tolist()).total_s for row in matrix],
         repeats=2,
     )
-    batch_s = _best_seconds(lambda: estimate_series_batch(steps, matrix), repeats=5)
+    batch_s = best_seconds(lambda: estimate_series_batch(steps, matrix), repeats=5)
 
     scalar_totals = [estimate_series(steps, row.tolist()).total_s for row in matrix]
     np.testing.assert_allclose(batch_totals, scalar_totals, rtol=1e-12, atol=1e-15)
 
     speedup = scalar_s / batch_s
-    print(f"\nbatch engine: {len(matrix)} rows in {batch_s * 1e3:.2f} ms "
-          f"vs {scalar_s * 1e3:.2f} ms scalar ({speedup:.0f}x)")
+    bench_summary(f"batch engine: {len(matrix)} rows in {batch_s * 1e3:.2f} ms "
+                  f"vs {scalar_s * 1e3:.2f} ms scalar ({speedup:.0f}x)")
     assert speedup >= 5.0
 
 
-def test_bench_pl_optimization_batched_speedup(benchmark):
+def test_bench_pl_optimization_batched_speedup(benchmark, bench_summary, best_seconds):
     """Acceptance: >= 5x on an 8-step PL optimisation versus the scalar path."""
     steps = _eight_step_series()
 
     batched = benchmark(lambda: optimize_pl(steps))
     scalar = optimize_pl(steps, use_batch=False)
 
-    # Identical decisions and estimates, not merely close ones.
+    # Identical decisions and estimates, not merely close ones.  (Row counts
+    # may differ: the vectorized descent evaluates each round's remaining
+    # coordinate columns speculatively in one engine call.)
     assert batched.ratios == scalar.ratios
-    assert batched.evaluations == scalar.evaluations
     assert abs(batched.total_s - scalar.total_s) <= 1e-12
 
-    batch_s = _best_seconds(lambda: optimize_pl(steps), repeats=5)
-    scalar_s = _best_seconds(lambda: optimize_pl(steps, use_batch=False), repeats=2)
+    batch_s = best_seconds(lambda: optimize_pl(steps), repeats=5)
+    scalar_s = best_seconds(lambda: optimize_pl(steps, use_batch=False), repeats=2)
     speedup = scalar_s / batch_s
-    print(f"\n8-step PL optimisation: batched {batch_s * 1e3:.1f} ms "
-          f"vs scalar {scalar_s * 1e3:.1f} ms ({speedup:.1f}x, "
-          f"{batched.evaluations} evaluations)")
+    bench_summary(f"8-step PL optimisation: vectorized {batch_s * 1e3:.1f} ms "
+                  f"vs scalar {scalar_s * 1e3:.1f} ms ({speedup:.1f}x, "
+                  f"{batched.stats['engine_yields']} engine calls, "
+                  f"{batched.evaluations} rows)")
     assert speedup >= 5.0

@@ -17,8 +17,6 @@ gate pins the two properties that make the service worth having over calling
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
 from repro.costmodel import StepCost, optimize_scheme
@@ -61,16 +59,7 @@ def _mixed_requests() -> list[PlanRequest]:
     ]
 
 
-def _best_seconds(fn, repeats: int = 3) -> float:
-    best = float("inf")
-    for _ in range(repeats):
-        start = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - start)
-    return best
-
-
-def test_bench_service_throughput_gate(benchmark):
+def test_bench_service_throughput_gate(benchmark, bench_summary, best_seconds):
     """Acceptance: >= 3x for 32 mixed requests vs sequential optimisation."""
     requests = _mixed_requests()
 
@@ -88,23 +77,23 @@ def test_bench_service_throughput_gate(benchmark):
         assert response.estimate.cpu_step_s == reference.estimate.cpu_step_s
         assert response.estimate.gpu_delay_s == reference.estimate.gpu_delay_s
 
-    service_s = _best_seconds(
+    service_s = best_seconds(
         lambda: PlanService(cache=SharedEstimateCache()).plan_many(requests),
         repeats=5,
     )
-    sequential_s = _best_seconds(
+    sequential_s = best_seconds(
         lambda: [optimize_scheme(r.scheme, list(r.steps), r.delta) for r in requests],
         repeats=3,
     )
     speedup = sequential_s / service_s
-    print(
-        f"\nplan service: {N_REQUESTS} mixed requests in {service_s * 1e3:.1f} ms "
+    bench_summary(
+        f"plan service: {N_REQUESTS} mixed requests in {service_s * 1e3:.1f} ms "
         f"vs {sequential_s * 1e3:.1f} ms sequential ({speedup:.1f}x)"
     )
     assert speedup >= 3.0
 
 
-def test_bench_service_repeated_workload_hit_rate():
+def test_bench_service_repeated_workload_hit_rate(bench_summary):
     """Acceptance: a repeated workload is served >50% from the shared cache.
 
     The first pass pays the engine for every stacked grid row; each replay
@@ -123,8 +112,8 @@ def test_bench_service_repeated_workload_hit_rate():
 
     stats = service.stats()
     hit_rate = stats["cache"]["hit_rate"]
-    print(
-        f"\nrepeated workload: hit rate {hit_rate:.1%} "
+    bench_summary(
+        f"repeated workload: hit rate {hit_rate:.1%} "
         f"({stats['cache']['hits']} hits / {stats['cache']['misses']} misses), "
         f"{stats['requests_deduplicated']} of {stats['requests_served']} "
         "requests deduplicated"

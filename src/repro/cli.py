@@ -174,8 +174,12 @@ def cmd_plan(args: argparse.Namespace) -> int:
     responses = service.plan_many(requests)
     text = _format_plans(responses, service.stats(), args.format)
     if args.output:
-        with open(args.output, "w", encoding="utf-8") as handle:
-            handle.write(text + "\n")
+        try:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(text + "\n")
+        except OSError as exc:
+            print(f"cannot write plans: {exc}", file=sys.stderr)
+            return 2
         print(f"wrote {args.output}", file=sys.stderr)
     else:
         print(text)

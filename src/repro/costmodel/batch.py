@@ -43,7 +43,9 @@ __all__ = [
     "EstimateCache",
     "SharedEstimateCache",
     "batch_totals",
+    "batch_totals_mixed",
     "estimate_series_batch",
+    "mixed_matrices",
     "reset_shared_estimate_cache",
     "shared_estimate_cache",
     "steps_fingerprint",
@@ -146,29 +148,24 @@ def _step_coefficients(
     return coefficients
 
 
-def batch_totals(
-    steps: Sequence[StepCost], ratio_matrix, validate: bool = True
+def _stacked_totals(
+    R: np.ndarray, cpu_coeff: np.ndarray, gpu_coeff: np.ndarray
 ) -> np.ndarray:
-    """Per-row ``total_s`` (Eq. 1) without materialising a full BatchEstimate.
+    """Eq. 1 totals for a ratio matrix against per-step coefficient arrays.
 
-    This is the optimiser hot path: identical arithmetic (and floating-point
-    operation order) to :func:`estimate_series_batch`, minus the per-step
-    output matrices.  ``validate=False`` skips the [0, 1] range scan for
-    callers that generate their candidate matrices from known-valid grids.
+    ``cpu_coeff``/``gpu_coeff`` are either length-``n`` vectors (every row
+    belongs to the same step series, the :func:`batch_totals` case) or full
+    ``(m, n)`` matrices carrying one coefficient vector per row (the mixed
+    case); the broadcasted arithmetic — and its floating-point operation
+    order — is identical either way.
     """
-    n = len(steps)
-    R = as_ratio_matrix(ratio_matrix, n, validate=validate)
-    if n == 0:
-        return np.zeros(R.shape[0], dtype=np.float64)
-
-    cpu_coeff, gpu_coeff, _, _ = _step_coefficients(steps)
     cpu_step = cpu_coeff * R
     gpu_step = gpu_coeff * (1.0 - R)
     cpu_cum = np.cumsum(cpu_step, axis=1)
     gpu_cum = np.cumsum(gpu_step, axis=1)
     cpu_total = cpu_cum[:, -1]
     gpu_total = gpu_cum[:, -1]
-    if n > 1:
+    if R.shape[1] > 1:
         r_prev = R[:, :-1]
         r_cur = R[:, 1:]
         with np.errstate(divide="ignore", invalid="ignore"):
@@ -183,6 +180,94 @@ def batch_totals(
         cpu_total = cpu_total + np.cumsum(cpu_delay, axis=1)[:, -1]
         gpu_total = gpu_total + np.cumsum(gpu_delay, axis=1)[:, -1]
     return np.maximum(cpu_total, gpu_total)
+
+
+def batch_totals(
+    steps: Sequence[StepCost], ratio_matrix, validate: bool = True
+) -> np.ndarray:
+    """Per-row ``total_s`` (Eq. 1) without materialising a full BatchEstimate.
+
+    This is the optimiser hot path: identical arithmetic (and floating-point
+    operation order) to :func:`estimate_series_batch`, minus the per-step
+    output matrices.  ``validate=False`` skips the [0, 1] range scan for
+    callers that generate their candidate matrices from known-valid grids.
+    """
+    n = len(steps)
+    R = as_ratio_matrix(ratio_matrix, n, validate=validate)
+    if n == 0:
+        return np.zeros(R.shape[0], dtype=np.float64)
+    cpu_coeff, gpu_coeff, _, _ = _step_coefficients(steps)
+    return _stacked_totals(R, cpu_coeff, gpu_coeff)
+
+
+def mixed_matrices(
+    segments: Sequence[tuple[Sequence[StepCost], np.ndarray]],
+    validate: bool = True,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Segmented coefficient matrices for a mixture of step series.
+
+    ``segments`` is a sequence of ``(steps, ratio_matrix)`` pairs, each pair
+    contributing its matrix's rows (in order) to one stacked batch.  Series
+    of different lengths are right-padded to the widest series: the padded
+    ratio columns repeat each row's last real ratio (so the Eq. 4/5 delay
+    masks stay off — consecutive equal ratios never stall) and the padded
+    coefficient columns are zero (so the padded lanes contribute exactly
+    ``+0.0`` to every cumulative sum, which leaves the per-row floating-point
+    accumulation bit-identical to the unpadded per-series evaluation).
+
+    Returns ``(R, cpu_coeff, gpu_coeff)`` — the stacked ``(m, n_max)`` ratio
+    matrix and the per-row coefficient matrices for :func:`_stacked_totals`.
+    """
+    prepared: list[tuple[Sequence[StepCost], np.ndarray]] = []
+    m = 0
+    n_max = 0
+    for steps, ratio_matrix in segments:
+        matrix = as_ratio_matrix(ratio_matrix, len(steps), validate=validate)
+        prepared.append((steps, matrix))
+        m += matrix.shape[0]
+        n_max = max(n_max, len(steps))
+    R = np.zeros((m, n_max), dtype=np.float64)
+    cpu_coeff = np.zeros((m, n_max), dtype=np.float64)
+    gpu_coeff = np.zeros((m, n_max), dtype=np.float64)
+    offset = 0
+    for steps, matrix in prepared:
+        n = len(steps)
+        rows = matrix.shape[0]
+        if rows and n:
+            block = slice(offset, offset + rows)
+            R[block, :n] = matrix
+            if n < n_max:
+                R[block, n:] = matrix[:, n - 1 : n]
+            series_cpu, series_gpu, _, _ = _step_coefficients(steps)
+            cpu_coeff[block, :n] = series_cpu
+            gpu_coeff[block, :n] = series_gpu
+        offset += rows
+    return R, cpu_coeff, gpu_coeff
+
+
+def batch_totals_mixed(
+    segments: Sequence[tuple[Sequence[StepCost], np.ndarray]],
+    validate: bool = True,
+) -> np.ndarray:
+    """Per-row ``total_s`` for rows drawn from *different* step series.
+
+    One vectorized pass serves an arbitrary mixture of series fingerprints:
+    each ``(steps, ratio_matrix)`` segment is expanded to per-row coefficient
+    vectors by :func:`mixed_matrices` and the whole stack is evaluated by the
+    same Eq. 1-5 arithmetic as :func:`batch_totals`.  Row ``j`` of the
+    returned vector is bit-identical to the corresponding row of
+    ``batch_totals(steps_j, ...)`` for the segment it came from — padding
+    adds only exact ``+0.0`` terms and masked-off delay lanes.
+
+    Prefer this over per-series :func:`batch_totals` loops whenever one call
+    site holds candidate rows for several series at once (the plan service's
+    request batches, lockstep coordinate descents): the engine-call count
+    drops from one per fingerprint to one total.
+    """
+    R, cpu_coeff, gpu_coeff = mixed_matrices(segments, validate=validate)
+    if R.shape[1] == 0:
+        return np.zeros(R.shape[0], dtype=np.float64)
+    return _stacked_totals(R, cpu_coeff, gpu_coeff)
 
 
 def estimate_series_batch(
@@ -286,8 +371,18 @@ class EstimateCache:
 
     * :meth:`totals` — per-row ``total_s`` for a whole ratio matrix; missing
       rows are evaluated in one :func:`estimate_series_batch` call.
+    * :meth:`totals_mixed` — per-row ``total_s`` for a mixture of step
+      series; every row is keyed under its *own* series fingerprint and all
+      missing rows (across every fingerprint) are evaluated in one
+      :func:`batch_totals_mixed` call.
     * :meth:`estimate` — a full scalar :class:`SeriesEstimate` for one
       vector, evaluated with the reference :func:`estimate_series`.
+
+    Quantisation can merge two ratio vectors that differ beyond ``decimals``
+    places into one rounded key, so every stored entry also carries the
+    exact (unrounded) row bytes; a lookup whose exact bytes disagree with
+    the stored ones is treated as a miss and recomputed rather than served
+    a neighbour's total.
 
     Entries are grouped into per-fingerprint buckets and the buckets form a
     true LRU: every lookup refreshes its step series' recency, and inserting
@@ -305,19 +400,31 @@ class EstimateCache:
             raise ValueError("max_entries must be positive")
         self.max_entries = max_entries
         self.decimals = decimals
-        #: fingerprint -> {quantised row bytes -> total seconds}, LRU-ordered
-        #: by fingerprint access.
-        self._totals: OrderedDict[tuple, dict[bytes, float]] = OrderedDict()
-        self._estimates: OrderedDict[tuple, dict[bytes, SeriesEstimate]] = OrderedDict()
+        #: fingerprint -> {quantised row bytes -> (exact row bytes, total
+        #: seconds)}, LRU-ordered by fingerprint access.
+        self._totals: OrderedDict[tuple, dict[bytes, tuple[bytes, float]]] = OrderedDict()
+        self._estimates: OrderedDict[
+            tuple, dict[bytes, tuple[bytes, SeriesEstimate]]
+        ] = OrderedDict()
         self._total_rows = 0
         self._estimate_rows = 0
         self.hits = 0
         self.misses = 0
 
     # ------------------------------------------------------------------
-    def _row_keys(self, matrix: np.ndarray) -> list[bytes]:
+    def _row_keys(self, matrix: np.ndarray) -> list[tuple[bytes, bytes]]:
+        """(quantised key, exact bytes) per row of the matrix.
+
+        The quantised key addresses the bucket; the exact bytes are stored
+        alongside each entry and re-verified on every hit, so two vectors
+        that collide at ``decimals`` places can never alias each other's
+        cached totals.
+        """
         quantised = np.round(matrix, self.decimals)
-        return [row.tobytes() for row in quantised]
+        return [
+            (rounded.tobytes(), exact.tobytes())
+            for rounded, exact in zip(quantised, matrix)
+        ]
 
     @staticmethod
     def _touch(
@@ -350,29 +457,102 @@ class EstimateCache:
             rows -= len(dropped)
         return rows
 
+    def _probe_totals(
+        self,
+        bucket: dict[bytes, tuple[bytes, float]],
+        keys: list[tuple[bytes, bytes]],
+        out: np.ndarray,
+        offset: int,
+    ) -> list[int]:
+        """Fill ``out[offset:]`` from the bucket; return the missing rows."""
+        missing: list[int] = []
+        for i, (key, exact) in enumerate(keys):
+            cached = bucket.get(key)
+            if cached is None or cached[0] != exact:
+                missing.append(i)
+            else:
+                out[offset + i] = cached[1]
+        self.hits += len(keys) - len(missing)
+        self.misses += len(missing)
+        return missing
+
+    def _store_totals(
+        self,
+        bucket: dict[bytes, tuple[bytes, float]],
+        keys: list[tuple[bytes, bytes]],
+        rows: list[int],
+        totals: list[float],
+    ) -> int:
+        """Insert freshly computed rows; return how many keys are new."""
+        added = 0
+        for i, total in zip(rows, totals):
+            key, exact = keys[i]
+            if key not in bucket:
+                added += 1
+            bucket[key] = (exact, total)
+        return added
+
     def totals(self, steps: Sequence[StepCost], ratio_matrix) -> np.ndarray:
         """Per-row ``total_s`` of the batch, reusing previously seen rows."""
         matrix = as_ratio_matrix(ratio_matrix, len(steps))
         bucket = self._touch(self._totals, steps_fingerprint(steps))
         keys = self._row_keys(matrix)
         out = np.empty(matrix.shape[0], dtype=np.float64)
-        missing: list[int] = []
-        for i, key in enumerate(keys):
-            cached = bucket.get(key)
-            if cached is None:
-                missing.append(i)
-            else:
-                out[i] = cached
-        self.hits += matrix.shape[0] - len(missing)
-        self.misses += len(missing)
+        missing = self._probe_totals(bucket, keys, out, 0)
         if missing:
             fresh = batch_totals(steps, matrix[missing], validate=False)
-            added = 0
             for i, total in zip(missing, fresh.tolist()):
                 out[i] = total
-                if keys[i] not in bucket:
-                    added += 1
-                bucket[keys[i]] = total
+            added = self._store_totals(bucket, keys, missing, fresh.tolist())
+            self._total_rows = self._evict(
+                self._totals, self._total_rows + added, self._estimate_rows
+            )
+        return out
+
+    def totals_mixed(
+        self, segments: Sequence[tuple[Sequence[StepCost], np.ndarray]]
+    ) -> np.ndarray:
+        """Per-row totals for rows of *different* step series, in one call.
+
+        Each ``(steps, ratio_matrix)`` segment's rows are keyed under that
+        segment's own fingerprint (per-row identity, exactly as if
+        :meth:`totals` had been called per segment — hits, misses and LRU
+        recency account identically), but all missing rows across every
+        fingerprint are evaluated by a single :func:`batch_totals_mixed`
+        engine invocation.  Returns the concatenated totals in segment
+        order.
+        """
+        prepared: list[
+            tuple[Sequence[StepCost], np.ndarray, dict, list[tuple[bytes, bytes]]]
+        ] = []
+        total_rows = 0
+        for steps, ratio_matrix in segments:
+            matrix = as_ratio_matrix(ratio_matrix, len(steps))
+            bucket = self._touch(self._totals, steps_fingerprint(steps))
+            prepared.append((steps, matrix, bucket, self._row_keys(matrix)))
+            total_rows += matrix.shape[0]
+
+        out = np.empty(total_rows, dtype=np.float64)
+        missing_segments: list[tuple[Sequence[StepCost], np.ndarray]] = []
+        backfill: list[tuple[dict, list[tuple[bytes, bytes]], list[int], int]] = []
+        offset = 0
+        for steps, matrix, bucket, keys in prepared:
+            missing = self._probe_totals(bucket, keys, out, offset)
+            if missing:
+                missing_segments.append((steps, matrix[missing]))
+                backfill.append((bucket, keys, missing, offset))
+            offset += matrix.shape[0]
+
+        if missing_segments:
+            fresh = batch_totals_mixed(missing_segments, validate=False)
+            added = 0
+            pos = 0
+            for bucket, keys, missing, offset in backfill:
+                slice_totals = fresh[pos : pos + len(missing)].tolist()
+                pos += len(missing)
+                for i, total in zip(missing, slice_totals):
+                    out[offset + i] = total
+                added += self._store_totals(bucket, keys, missing, slice_totals)
             self._total_rows = self._evict(
                 self._totals, self._total_rows + added, self._estimate_rows
             )
@@ -387,16 +567,17 @@ class EstimateCache:
         """
         matrix = as_ratio_matrix(list(ratios), len(steps))
         bucket = self._touch(self._estimates, steps_fingerprint(steps))
-        key = self._row_keys(matrix)[0]
+        key, exact = self._row_keys(matrix)[0]
         cached = bucket.get(key)
-        if cached is not None:
+        if cached is not None and cached[0] == exact:
             self.hits += 1
-            return cached.copy()
+            return cached[1].copy()
         self.misses += 1
         estimate = estimate_series(steps, list(ratios))
-        bucket[key] = estimate
+        added = 0 if key in bucket else 1
+        bucket[key] = (exact, estimate)
         self._estimate_rows = self._evict(
-            self._estimates, self._estimate_rows + 1, self._total_rows
+            self._estimates, self._estimate_rows + added, self._total_rows
         )
         return estimate.copy()
 
@@ -449,6 +630,12 @@ class SharedEstimateCache(EstimateCache):
     def totals(self, steps: Sequence[StepCost], ratio_matrix) -> np.ndarray:
         with self._lock:
             return super().totals(steps, ratio_matrix)
+
+    def totals_mixed(
+        self, segments: Sequence[tuple[Sequence[StepCost], np.ndarray]]
+    ) -> np.ndarray:
+        with self._lock:
+            return super().totals_mixed(segments)
 
     def estimate(self, steps: Sequence[StepCost], ratios: Sequence[float]) -> SeriesEstimate:
         with self._lock:

@@ -75,6 +75,9 @@ def dd_candidate_matrix(n_steps: int, delta: float = DEFAULT_DELTA) -> np.ndarra
 def ol_candidate_matrix(n_steps: int) -> np.ndarray:
     """The exact ``(2**n_steps, n_steps)`` enumeration ``optimize_ol`` scans
     for series up to :data:`OL_ENUMERATION_LIMIT` steps."""
+    if n_steps == 0:
+        # 2^0 = one empty assignment, matching optimize_dd's degenerate case.
+        return np.zeros((1, 0), dtype=np.float64)
     matrix = np.array(list(product((0.0, 1.0), repeat=n_steps)), dtype=np.float64)
     return matrix.reshape(-1, n_steps)
 
@@ -99,11 +102,16 @@ class SeriesEvaluator:
         self.cache = cache
         self.use_batch = use_batch
         self.evaluations = 0
+        #: How many engine invocations (``totals`` calls) were issued — the
+        #: quantity the vectorized descent minimises; ``evaluations`` counts
+        #: rows, this counts calls.
+        self.engine_calls = 0
 
     def totals(self, ratio_matrix) -> np.ndarray:
         """``total_s`` per candidate row of the matrix."""
         matrix = as_ratio_matrix(ratio_matrix, len(self.steps), validate=False)
         self.evaluations += matrix.shape[0]
+        self.engine_calls += 1
         if not self.use_batch:
             return np.array(
                 [estimate_series(self.steps, row.tolist()).total_s for row in matrix],
@@ -154,6 +162,9 @@ class OptimizationResult:
     estimate: SeriesEstimate
     evaluations: int = 0
     scheme: str = "PL"
+    #: Optimiser-specific bookkeeping (the vectorized PL descent records its
+    #: per-start rounds/accepted updates and the engine-call count here).
+    stats: dict = field(default_factory=dict)
 
     @property
     def total_s(self) -> float:
@@ -241,6 +252,260 @@ def optimize_ol(
 # ---------------------------------------------------------------------------
 # PL: an independent ratio per step
 # ---------------------------------------------------------------------------
+class _DescentState:
+    """One start vector's coordinate descent, advanced segment by segment.
+
+    The scalar reference walks coordinates 0..n-1 per round, re-basing the
+    remaining coordinates' trial rows after every accepted update.  This
+    state machine replays exactly that decision sequence, but evaluates
+    speculatively: :meth:`build_segment` emits the candidate columns of
+    *every* remaining coordinate of the round against the current base
+    vector, and :meth:`apply` consumes the returned totals in coordinate
+    order until the first accepted update — at which point the rest of the
+    batch is stale (its rows were built from the pre-update base) and is
+    discarded, and the next segment starts from the following coordinate.
+    A round with no accepted updates therefore costs exactly one engine
+    call, and a round with ``k`` accepts at most ``k + 1``.
+    """
+
+    __slots__ = (
+        "ratios",
+        "current_total",
+        "rounds",
+        "accepts",
+        "done",
+        "_grid",
+        "_max_rounds",
+        "_next_coord",
+        "_improved",
+        "_columns",
+        "_segment_start",
+    )
+
+    def __init__(self, start: Sequence[float], grid: np.ndarray, max_rounds: int) -> None:
+        self.ratios = [float(np.clip(r, 0.0, 1.0)) for r in start]
+        self.current_total: float | None = None
+        self.rounds = 1 if max_rounds >= 1 else 0
+        self.accepts = 0
+        self.done = max_rounds < 1
+        self._grid = grid
+        self._max_rounds = max_rounds
+        self._next_coord = 0
+        self._improved = False
+        self._columns: list[np.ndarray] = []
+        self._segment_start = 0
+
+    def prepare_segment(self) -> None:
+        """Fix the columns of the next segment against the current base."""
+        n = len(self.ratios)
+        self._segment_start = self._next_coord
+        self._columns = (
+            []  # max_rounds < 1: only the start vector itself is evaluated
+            if self.done
+            else [
+                self._grid[self._grid != self.ratios[j]]
+                for j in range(self._next_coord, n)
+            ]
+        )
+
+    def build_segment(self) -> np.ndarray:
+        """Trial rows for the remaining coordinates of this round.
+
+        The first segment of a descent leads with the unmodified start
+        vector so its ``current_total`` comes out of the same batch (the
+        scalar path evaluates it separately before the first round).
+        """
+        n = len(self.ratios)
+        lead = 1 if self.current_total is None else 0
+        rows = lead + sum(column.size for column in self._columns)
+        trials = np.empty((rows, n), dtype=np.float64)
+        trials[:] = self.ratios
+        offset = lead
+        for k, column in enumerate(self._columns):
+            trials[offset : offset + column.size, self._segment_start + k] = column
+            offset += column.size
+        return trials
+
+    def apply(self, totals: np.ndarray) -> None:
+        """Replay the scalar acceptance scan over this segment's totals."""
+        n = len(self.ratios)
+        offset = 0
+        if self.current_total is None:
+            self.current_total = float(totals[0])
+            offset = 1
+            if self.done:  # max_rounds < 1: only the start estimate was needed
+                return
+        # Per-column minima in one vectorized pass: a column whose minimum
+        # cannot beat the strict-improvement threshold is skipped without
+        # the per-candidate Python scan (the overwhelmingly common case once
+        # the descent approaches convergence).  The scan itself — and with
+        # it every tie-break — is unchanged for columns that can improve.
+        if self._columns:
+            starts = np.empty(len(self._columns), dtype=np.intp)
+            position = offset
+            for k, column in enumerate(self._columns):
+                starts[k] = position
+                position += column.size
+            minima = np.minimum.reduceat(totals, starts)
+        for k, column in enumerate(self._columns):
+            j = self._segment_start + k
+            block = totals[offset : offset + column.size]
+            offset += column.size
+            if minima[k] >= self.current_total - 1e-15:
+                continue
+            best_ratio = self.ratios[j]
+            best_time = self.current_total
+            for candidate, total in zip(column.tolist(), block.tolist()):
+                if total < best_time - 1e-15:
+                    best_time = total
+                    best_ratio = candidate
+            if best_ratio != self.ratios[j]:
+                self.ratios[j] = best_ratio
+                self.current_total = best_time
+                self.accepts += 1
+                self._improved = True
+                self._next_coord = j + 1
+                if self._next_coord >= n:
+                    self._finish_round()
+                return
+        self._next_coord = n
+        self._finish_round()
+
+    def _finish_round(self) -> None:
+        if self._improved and self.rounds < self._max_rounds:
+            self.rounds += 1
+            self._improved = False
+            self._next_coord = 0
+        else:
+            self.done = True
+
+
+def pl_descent_plan(
+    steps: Sequence[StepCost],
+    delta: float = DEFAULT_DELTA,
+    max_rounds: int = 6,
+    exhaustive_limit: int = 3,
+    exhaustive_delta: float = 0.1,
+):
+    """The PL optimisation as a resumable evaluation plan (a generator).
+
+    Yields ``(m, n)`` candidate ratio matrices and expects the matching
+    length-``m`` ``total_s`` vector to be sent back; returns
+    ``(best_ratios, stats)`` via ``StopIteration.value``.  Separating the
+    *decision* sequence from the *evaluation* transport this way lets one
+    driver answer each yield however it likes — ``optimize_pl`` feeds it
+    from a per-series :class:`SeriesEvaluator`, while the multi-query plan
+    service advances many plans in lockstep and answers one round of *all*
+    of them with a single mixed-series engine call.
+
+    The yields are: the DD start's delta grid, the exhaustive coarse grid
+    for short series, then one matrix per descent segment with every live
+    start's segment stacked (the per-start descents are independent, so
+    they advance in parallel and a converged search costs
+    ``max`` — not ``sum`` — of the starts' segment counts).
+    """
+    n = len(steps)
+    if n == 0:
+        raise OptimizerError("cannot optimise an empty step series")
+    grid = ratio_grid(delta)
+    yields = 0
+
+    # Start 1: the DD optimum.
+    dd_matrix = dd_candidate_matrix(n, delta)
+    totals = yield dd_matrix
+    yields += 1
+    starts: list[list[float]] = [dd_matrix[int(np.argmin(totals))].tolist()]
+    # Start 2: per-step device preference (OL-like).
+    starts.append([0.0 if s.gpu_unit_s <= s.cpu_unit_s else 1.0 for s in steps])
+    # Start 3: per-step balanced ratio r = gpu/(cpu+gpu) (equal finish times).
+    balanced = []
+    for s in steps:
+        denom = s.cpu_unit_s + s.gpu_unit_s
+        balanced.append(float(s.gpu_unit_s / denom) if denom > 0 else 0.5)
+    starts.append(balanced)
+
+    if n <= exhaustive_limit:
+        coarse = ratio_grid(exhaustive_delta)
+        assignments = np.array(list(product(coarse, repeat=n)), dtype=np.float64)
+        totals = yield assignments
+        yields += 1
+        starts.append(assignments[int(np.argmin(totals))].tolist())
+
+    states = [_DescentState(start, grid, max_rounds) for start in starts]
+    # Segment memo: the independent starts routinely converge to the same
+    # vector, at which point their no-accept verification rounds would
+    # re-evaluate identical trial matrices.  A segment is fully determined
+    # by (base ratios, first coordinate, lead-row presence), so replaying a
+    # previously seen segment's engine totals is exact — pure row dedup.
+    seen_segments: dict[tuple, np.ndarray] = {}
+
+    def segment_key(state: _DescentState) -> tuple:
+        return (
+            tuple(state.ratios),
+            state._next_coord,
+            state.current_total is None,
+        )
+
+    while True:
+        pending: dict[tuple, list[_DescentState]] = {}
+        for state in states:
+            # Serve every memoised segment immediately; a state may chain
+            # through several (e.g. re-verifying a vector another start
+            # already verified) before needing fresh rows.
+            while not state.done or state.current_total is None:
+                key = segment_key(state)
+                cached = seen_segments.get(key)
+                if cached is None:
+                    pending.setdefault(key, []).append(state)
+                    break
+                state.prepare_segment()
+                state.apply(cached)
+        if not pending:
+            break
+        matrices = []
+        for group in pending.values():
+            group[0].prepare_segment()
+            matrices.append(group[0].build_segment())
+        stacked = matrices[0] if len(matrices) == 1 else np.vstack(matrices)
+        totals = yield stacked
+        yields += 1
+        offset = 0
+        for (key, group), matrix in zip(pending.items(), matrices):
+            block = totals[offset : offset + matrix.shape[0]]
+            offset += matrix.shape[0]
+            seen_segments[key] = block
+            for i, state in enumerate(group):
+                if i:  # group[0] prepared its columns when building
+                    state.prepare_segment()
+                state.apply(block)
+
+    # Same first-strictly-better scan over the starts as the scalar path.
+    best_ratios: list[float] | None = None
+    best_total = float("inf")
+    for state in states:
+        if best_ratios is None or state.current_total < best_total:
+            best_ratios = list(state.ratios)
+            best_total = state.current_total
+    assert best_ratios is not None
+    stats = {
+        "engine_yields": yields,
+        "starts": len(states),
+        "rounds": [state.rounds for state in states],
+        "accepts": [state.accepts for state in states],
+    }
+    return best_ratios, stats
+
+
+def drive_plan(plan, totals_fn):
+    """Run an evaluation plan to completion against one totals callback."""
+    try:
+        matrix = next(plan)
+        while True:
+            matrix = plan.send(totals_fn(matrix))
+    except StopIteration as stop:
+        return stop.value
+
+
 def optimize_pl(
     steps: Sequence[StepCost],
     delta: float = DEFAULT_DELTA,
@@ -250,25 +515,50 @@ def optimize_pl(
     cache: EstimateCache | None = None,
     use_batch: bool = True,
     evaluator: SeriesEvaluator | None = None,
+    vectorized: bool = True,
 ) -> OptimizationResult:
     """Per-step ratios minimising the estimated series time.
 
     Short series (``len(steps) <= exhaustive_limit``) are solved with an
     exhaustive coarse grid followed by a fine refinement; longer series use
     coordinate descent over the delta grid from several starting points.
-    Each coordinate's full candidate column (and the exhaustive coarse grid)
-    is evaluated as a single batch; acceptance replays the batched totals in
-    grid order with the scalar path's strict-improvement threshold, so the
-    returned ratios match the scalar implementation exactly.
+
+    The default vectorized path drives :func:`pl_descent_plan`: every
+    descent round evaluates *all* remaining coordinates' candidate columns
+    (for all live starts at once) in a single engine call, re-batching only
+    after an accepted update invalidates the speculative rows — so a
+    converged round costs one call instead of one per coordinate.
+    Acceptance replays the batched totals in grid order with the
+    per-coordinate loop's strict-improvement threshold, so the returned
+    ratios match both reference paths exactly: ``vectorized=False`` keeps
+    the historical per-coordinate descent (one engine call per coordinate
+    per round — the baseline the speedup gates measure against) and
+    ``use_batch=False`` additionally evaluates its rows through the scalar
+    model.  The paths differ in how many *rows* they evaluate (the
+    vectorized rounds count their speculative rows in ``evaluations``), not
+    in any decision they make.
     """
     n = len(steps)
     if n == 0:
         raise OptimizerError("cannot optimise an empty step series")
 
-    grid = ratio_grid(delta)
     evaluator = _resolve_evaluator(steps, cache, use_batch, evaluator)
     start_evaluations = evaluator.evaluations
 
+    if vectorized and evaluator.use_batch:
+        plan = pl_descent_plan(
+            steps, delta, max_rounds, exhaustive_limit, exhaustive_delta
+        )
+        best_ratios, stats = drive_plan(plan, evaluator.totals)
+        return OptimizationResult(
+            ratios=best_ratios,
+            estimate=evaluator.estimate(best_ratios),
+            evaluations=evaluator.evaluations - start_evaluations,
+            scheme="PL",
+            stats=stats,
+        )
+
+    grid = ratio_grid(delta)
     candidates: list[list[float]] = []
     # Start 1: the DD optimum (counted through the shared evaluator).
     dd = optimize_dd(steps, delta, evaluator=evaluator)

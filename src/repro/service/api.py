@@ -81,6 +81,11 @@ class PlanRequest:
                 )
             if any(not 0.0 <= r <= 1.0 for r in self.ratios):
                 raise WorkloadError("WHAT-IF ratios must lie in [0, 1]")
+        elif self.ratios is not None:
+            # Ratios are documented as ignored for optimisation schemes;
+            # dropping them keeps the task key (and so deduplication) from
+            # treating otherwise-identical requests as distinct tasks.
+            object.__setattr__(self, "ratios", None)
 
     # ------------------------------------------------------------------
     @property

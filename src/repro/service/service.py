@@ -2,20 +2,29 @@
 
 :class:`PlanService` answers many optimisation/what-if requests against the
 abstract cost model at once.  ``plan_many`` turns a batch of N requests into
-~one vectorized engine invocation per distinct step series:
+~one vectorized engine invocation per *round*, regardless of how many step
+series the batch mixes:
 
 1. **Dedup** — requests with an identical task key (steps fingerprint,
    scheme, delta, what-if ratios) are solved once and share the answer.
-2. **Stack** — every surviving grid-shaped task contributes the exact
-   candidate matrix its optimiser scans (the DD delta grid, OL's 0/1
-   enumeration); candidates of tasks over the same step series are stacked
-   into one matrix and evaluated by a single ``SharedEstimateCache.totals``
-   call, i.e. one ``batch_totals`` pass.
+2. **Mix** — every grid-shaped task contributes the exact candidate matrix
+   its optimiser scans (the DD delta grid, OL's 0/1 enumeration) and every
+   PL task contributes the next segment of its coordinate descent
+   (:func:`~repro.costmodel.optimizer.pl_descent_plan`).  All segments of a
+   round — across *different* fingerprints — are evaluated by a single
+   mixed-series pass with per-row coefficient vectors: the grid round goes
+   through ``cache.totals_mixed`` (so replayed workloads hit per-row), the
+   descent rounds through the raw :func:`batch_totals_mixed` (descent rows
+   rarely repeat; lockstep batching, not memoisation, is the PL win).  PL
+   descents advance in lockstep until the last one converges.
 3. **Solve** — grid-shaped tasks pick their answer straight from their
-   stacked slice; WHAT-IF/CPU/GPU answers are one cached scalar estimate
-   each; PL tasks run their coordinate descent on the raw batch engine
-   (descent rows rarely repeat, so dedup — not memoisation — is the PL
-   win).
+   mixed slice; PL tasks take their descent plan's result; WHAT-IF/CPU/GPU
+   answers are one cached scalar estimate each.  Every answer is
+   bit-identical to calling ``optimize_scheme`` per request.
+
+``PlanService(mixed=False)`` keeps the PR 2 evaluation strategy (one engine
+call per distinct step series, PL solved per task with the per-coordinate
+descent on the raw engine) as a reference/benchmark baseline.
 
 The cache defaults to the process-wide
 :func:`~repro.costmodel.batch.shared_estimate_cache`, so repeated service
@@ -35,14 +44,16 @@ from typing import Any, Iterable
 import numpy as np
 
 from ..costmodel.abstract import StepCost
-from ..costmodel.batch import EstimateCache, shared_estimate_cache
+from ..costmodel.batch import EstimateCache, batch_totals_mixed, shared_estimate_cache
 from ..costmodel.optimizer import (
     OL_ENUMERATION_LIMIT,
     OptimizationResult,
     SeriesEvaluator,
     dd_candidate_matrix,
     ol_candidate_matrix,
+    optimize_pl,
     optimize_scheme,
+    pl_descent_plan,
 )
 from .api import WHAT_IF, PlanRequest, PlanResponse, WorkloadError
 
@@ -57,14 +68,23 @@ class PlanService:
     the cache it is given: pass a :class:`SharedEstimateCache` (or keep the
     default) when calling ``plan``/``plan_many`` from multiple threads — a
     plain :class:`EstimateCache` is fine for single-threaded use only.
+
+    ``mixed`` selects the evaluation strategy: the default stacks candidate
+    rows of *all* tasks — across different step series — into one
+    mixed-series engine call per round; ``mixed=False`` restores the PR 2
+    strategy (per-fingerprint stacking, one call per distinct series, PL
+    solved per task with the per-coordinate descent) for comparison.  Both
+    strategies return bit-identical plans.
     """
 
-    def __init__(self, cache: EstimateCache | None = None) -> None:
+    def __init__(self, cache: EstimateCache | None = None, mixed: bool = True) -> None:
         self.cache = cache if cache is not None else shared_estimate_cache()
+        self.mixed = mixed
         self._lock = threading.Lock()
         self.requests_served = 0
         self.tasks_solved = 0
         self.requests_deduplicated = 0
+        self.mixed_engine_calls = 0
 
     # ------------------------------------------------------------------
     def plan(self, request: PlanRequest) -> PlanResponse:
@@ -88,31 +108,12 @@ class PlanService:
             tasks.setdefault(request.task_key, request)
         group_sizes = Counter(request.task_key for request in batch)
 
-        # 2. Stack every grid-shaped task's candidate matrix per step series
-        #    and evaluate each stack with one engine call (through the shared
-        #    cache, so repeated workloads hit instead of recomputing).
-        stacks: OrderedDict[tuple, list[tuple[tuple, np.ndarray]]] = OrderedDict()
-        steps_for: dict[tuple, tuple[StepCost, ...]] = {}
-        for key, task in tasks.items():
-            matrix = self._candidate_matrix(task)
-            if matrix is None or not matrix.size:
-                continue
-            stacks.setdefault(task.fingerprint, []).append((key, matrix))
-            steps_for[task.fingerprint] = task.steps
-        grids: dict[tuple, tuple[np.ndarray, np.ndarray]] = {}
-        for fingerprint, entries in stacks.items():
-            stacked = np.vstack([matrix for _, matrix in entries])
-            totals = self.cache.totals(steps_for[fingerprint], stacked)
-            offset = 0
-            for key, matrix in entries:
-                grids[key] = (matrix, totals[offset : offset + matrix.shape[0]])
-                offset += matrix.shape[0]
-
-        # 3. Solve each unique task (grid-shaped tasks straight from their
-        #    stacked slice, PL through its optimiser).
-        answers = {
-            key: self._solve(task, grids.get(key)) for key, task in tasks.items()
-        }
+        # 2./3. Evaluate and solve every unique task.
+        if self.mixed:
+            answers, engine_calls = self._solve_mixed(tasks)
+        else:
+            answers = self._solve_per_fingerprint(tasks)
+            engine_calls = 0
 
         responses: list[PlanResponse] = []
         charged: set[tuple] = set()
@@ -135,7 +136,131 @@ class PlanService:
             self.requests_served += len(batch)
             self.tasks_solved += len(tasks)
             self.requests_deduplicated += len(batch) - len(tasks)
+            self.mixed_engine_calls += engine_calls
         return responses
+
+    # ------------------------------------------------------------------
+    # Mixed-series strategy: one engine call per round for the whole batch.
+    # ------------------------------------------------------------------
+    def _solve_mixed(
+        self, tasks: "OrderedDict[tuple, PlanRequest]"
+    ) -> tuple[dict[tuple, OptimizationResult], int]:
+        """Answer every unique task off lockstep mixed-series evaluation.
+
+        Round 0 stacks the DD/OL candidate grids of every grid-shaped task
+        (across all fingerprints) into one cached mixed call; each descent
+        round stacks the still-active PL tasks' next segments into one raw
+        mixed call.  The engine-call count is therefore ``1 + (descent
+        segments of the slowest PL task)`` instead of one per fingerprint
+        plus several per PL task.
+        """
+        grid_tasks: list[tuple[tuple, PlanRequest, np.ndarray]] = []
+        plans: dict[tuple, Any] = {}
+        pending: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
+        rows_charged: dict[tuple, int] = {}
+        for key, task in tasks.items():
+            matrix = self._candidate_matrix(task)
+            if matrix is not None and matrix.size:
+                grid_tasks.append((key, task, matrix))
+            elif task.scheme == "PL":
+                plan = pl_descent_plan(list(task.steps), task.delta)
+                first_matrix = next(plan)
+                plans[key] = plan
+                pending[key] = first_matrix
+                rows_charged[key] = int(first_matrix.shape[0])
+
+        engine_calls = 0
+
+        # Round 0: every grid-shaped task's candidate matrix — across all
+        # fingerprints — in one *cached* mixed call, so a replayed workload
+        # is served from per-row hits instead of the engine.
+        grid_totals: dict[tuple, np.ndarray] = {}
+        if grid_tasks:
+            totals = self.cache.totals_mixed(
+                [(task.steps, matrix) for _, task, matrix in grid_tasks]
+            )
+            engine_calls += 1
+            offset = 0
+            for key, _, matrix in grid_tasks:
+                grid_totals[key] = totals[offset : offset + matrix.shape[0]]
+                offset += matrix.shape[0]
+
+        # Descent rounds: all still-active PL tasks' next segments in one
+        # *raw* mixed call per round.  Descent rows rarely repeat, so keying
+        # them through the cache costs more than the vectorized recompute —
+        # the PL win here is lockstep batching (and request dedup), not
+        # memoisation.
+        descent_results: dict[tuple, tuple[list[float], dict]] = {}
+        while pending:
+            segments: list[tuple[tuple[StepCost, ...], np.ndarray]] = [
+                (tasks[key].steps, matrix) for key, matrix in pending.items()
+            ]
+            totals = batch_totals_mixed(segments, validate=False)
+            engine_calls += 1
+
+            offset = 0
+            still_pending: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
+            for key, matrix in pending.items():
+                block = totals[offset : offset + matrix.shape[0]]
+                offset += matrix.shape[0]
+                try:
+                    next_matrix = plans[key].send(block)
+                except StopIteration as stop:
+                    descent_results[key] = stop.value
+                else:
+                    still_pending[key] = next_matrix
+                    rows_charged[key] += int(next_matrix.shape[0])
+            pending = still_pending
+
+        answers: dict[tuple, OptimizationResult] = {}
+        for key, task, matrix in grid_tasks:
+            # First minimum of the slice, exactly like np.argmin over the
+            # optimiser's own batch.
+            ratios = matrix[int(np.argmin(grid_totals[key]))].tolist()
+            answers[key] = OptimizationResult(
+                ratios=ratios,
+                estimate=self.cache.estimate(task.steps, ratios),
+                evaluations=int(matrix.shape[0]),
+                scheme=task.scheme,
+            )
+        for key, (ratios, stats) in descent_results.items():
+            task = tasks[key]
+            answers[key] = OptimizationResult(
+                ratios=ratios,
+                estimate=self.cache.estimate(task.steps, ratios),
+                evaluations=rows_charged[key],
+                scheme="PL",
+                stats=stats,
+            )
+        for key, task in tasks.items():
+            if key not in answers:  # WHAT-IF, CPU/GPU, OL beyond enumeration
+                answers[key] = self._solve(task, None)
+        return answers, engine_calls
+
+    # ------------------------------------------------------------------
+    # Per-fingerprint strategy (the PR 2 path, kept as reference baseline).
+    # ------------------------------------------------------------------
+    def _solve_per_fingerprint(
+        self, tasks: "OrderedDict[tuple, PlanRequest]"
+    ) -> dict[tuple, OptimizationResult]:
+        """One stacked engine call per distinct step series, PL per task."""
+        stacks: OrderedDict[tuple, list[tuple[tuple, np.ndarray]]] = OrderedDict()
+        steps_for: dict[tuple, tuple[StepCost, ...]] = {}
+        for key, task in tasks.items():
+            matrix = self._candidate_matrix(task)
+            if matrix is None or not matrix.size:
+                continue
+            stacks.setdefault(task.fingerprint, []).append((key, matrix))
+            steps_for[task.fingerprint] = task.steps
+        grids: dict[tuple, tuple[np.ndarray, np.ndarray]] = {}
+        for fingerprint, entries in stacks.items():
+            stacked = np.vstack([matrix for _, matrix in entries])
+            totals = self.cache.totals(steps_for[fingerprint], stacked)
+            offset = 0
+            for key, matrix in entries:
+                grids[key] = (matrix, totals[offset : offset + matrix.shape[0]])
+                offset += matrix.shape[0]
+        return {key: self._solve(task, grids.get(key)) for key, task in tasks.items()}
 
     # ------------------------------------------------------------------
     def _candidate_matrix(self, task: PlanRequest) -> np.ndarray | None:
@@ -143,12 +268,11 @@ class PlanService:
 
         These are exactly the rows the task's solver scans (built by the
         optimiser module's own candidate builders, so they cannot drift from
-        ``optimize_dd``/``optimize_ol``), letting one ``batch_totals`` pass
-        pay for every task of the series.  Tasks whose answer does not read
-        a totals grid return ``None``: PL discovers its descent rows on the
-        fly and runs on the raw engine (see :meth:`_solve`), and the
-        WHAT-IF/CPU/GPU answers need one full scalar estimate, not grid
-        totals.
+        ``optimize_dd``/``optimize_ol``), letting one mixed engine pass pay
+        for every grid-shaped task of the batch.  Tasks whose answer does
+        not read a totals grid return ``None``: PL contributes its descent
+        segments round by round instead, and the WHAT-IF/CPU/GPU answers
+        need one full scalar estimate, not grid totals.
         """
         n = len(task.steps)
         if task.scheme == "DD":
@@ -166,10 +290,10 @@ class PlanService:
 
         Grid-shaped tasks pick their answer from the stacked slice with the
         same first-minimum scan their optimiser would run over the same
-        totals, so the chosen ratios (and tie-breaks) are identical.  PL runs
-        its coordinate descent on the raw batch engine: descent rows almost
-        never repeat, so per-row memoisation costs more than the vectorized
-        recompute and the service's PL win comes from deduplication instead.
+        totals, so the chosen ratios (and tie-breaks) are identical.  In the
+        per-fingerprint strategy PL runs the PR 2 per-coordinate descent per
+        task on the raw batch engine — the baseline the mixed strategy's
+        lockstep vectorized descent is gated against.
         """
         steps = task.steps
         scheme = task.scheme
@@ -190,8 +314,14 @@ class PlanService:
                 evaluations=int(matrix.shape[0]),
                 scheme=scheme,
             )
-        cache = None if scheme == "PL" else self.cache
-        evaluator = SeriesEvaluator(steps, cache=cache)
+        if scheme == "PL":
+            return optimize_pl(
+                steps,
+                task.delta,
+                evaluator=SeriesEvaluator(steps),
+                vectorized=False,
+            )
+        evaluator = SeriesEvaluator(steps, cache=self.cache)
         return optimize_scheme(scheme, steps, task.delta, evaluator=evaluator)
 
     # ------------------------------------------------------------------
@@ -212,5 +342,6 @@ class PlanService:
                 "requests_served": self.requests_served,
                 "tasks_solved": self.tasks_solved,
                 "requests_deduplicated": self.requests_deduplicated,
+                "mixed_engine_calls": self.mixed_engine_calls,
                 "cache": cache_stats,
             }

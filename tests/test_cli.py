@@ -181,3 +181,83 @@ class TestPlanCommand:
         assert args.format == "text"
         assert args.output is None
         assert not args.shared_cache
+
+
+class TestPlanCommandErrorPaths:
+    """Every failure mode exits 2 with a diagnostic on stderr (and prints
+    nothing on stdout) — the contract scripted callers rely on."""
+
+    def test_malformed_json_diagnostic_names_the_problem(self, tmp_path, capsys):
+        path = tmp_path / "broken.json"
+        path.write_text('{"requests": [{]}')
+        assert main(["plan", str(path)]) == 2
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "not valid JSON" in captured.err
+
+    def test_workload_path_is_a_directory(self, tmp_path, capsys):
+        assert main(["plan", str(tmp_path)]) == 2
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "cannot read workload" in captured.err
+
+    def test_unknown_scheme_diagnostic_names_the_scheme(self, tmp_path, capsys):
+        workload = _workload(tmp_path, {
+            "requests": [{"scheme": "TURBO", "steps": _steps_payload()}],
+        })
+        assert main(["plan", workload]) == 2
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "invalid workload" in captured.err
+        assert "TURBO" in captured.err
+
+    def test_empty_request_list_variants(self, tmp_path, capsys):
+        for payload in ([], {"requests": []}):
+            assert main(["plan", _workload(tmp_path, payload)]) == 2, payload
+            captured = capsys.readouterr()
+            assert captured.out == ""
+            assert "no requests" in captured.err
+
+    def test_top_level_scalar_workload(self, tmp_path, capsys):
+        assert main(["plan", _workload(tmp_path, 42)]) == 2
+        assert "invalid workload" in capsys.readouterr().err
+
+    def test_requests_not_a_list(self, tmp_path, capsys):
+        assert main(["plan", _workload(tmp_path, {"requests": "q0"})]) == 2
+        assert "invalid workload" in capsys.readouterr().err
+
+    def test_bad_top_level_delta(self, tmp_path, capsys):
+        workload = _workload(tmp_path, {
+            "delta": "fast",
+            "requests": [{"scheme": "DD", "steps": _steps_payload()}],
+        })
+        assert main(["plan", workload]) == 2
+        assert "delta" in capsys.readouterr().err
+
+    def test_non_numeric_ratios(self, tmp_path, capsys):
+        workload = _workload(tmp_path, {
+            "requests": [{"scheme": "WHAT-IF", "ratios": ["half", 0.5],
+                          "steps": _steps_payload()}],
+        })
+        assert main(["plan", workload]) == 2
+        assert "invalid workload" in capsys.readouterr().err
+
+    def test_diagnostic_carries_request_position(self, tmp_path, capsys):
+        workload = _workload(tmp_path, {
+            "requests": [
+                {"scheme": "DD", "steps": _steps_payload()},
+                {"scheme": "PL"},  # second entry is the broken one
+            ],
+        })
+        assert main(["plan", workload]) == 2
+        assert "request #1" in capsys.readouterr().err
+
+    def test_unwritable_output_exits_2(self, tmp_path, capsys):
+        workload = _workload(tmp_path, {
+            "requests": [{"scheme": "DD", "steps": _steps_payload()}],
+        })
+        output = tmp_path / "missing-dir" / "plans.json"
+        assert main(["plan", workload, "--output", str(output)]) == 2
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "cannot write plans" in captured.err

@@ -91,6 +91,21 @@ class TestPlanRequestValidation:
         c = PlanRequest(steps=steps, scheme="DD", delta=0.5)
         assert c.task_key != a.task_key
 
+    def test_task_key_ignores_ratios_for_optimisation_schemes(self):
+        """Ratios are documented as ignored outside WHAT-IF; carrying them
+        into the task key would silently defeat request deduplication."""
+        steps = random_steps(np.random.default_rng(8), 3)
+        bare = PlanRequest(steps=steps, scheme="PL", request_id="a")
+        with_ratios = PlanRequest(
+            steps=steps, scheme="PL", ratios=(0.5, 0.5, 0.5), request_id="b"
+        )
+        assert with_ratios.ratios is None
+        assert bare.task_key == with_ratios.task_key
+        service = fresh_service()
+        responses = service.plan_many([bare, with_ratios])
+        assert responses[0].group_size == 2
+        assert service.stats()["requests_deduplicated"] == 1
+
     def test_dict_round_trip(self):
         steps = random_steps(np.random.default_rng(2), 3)
         request = PlanRequest(
