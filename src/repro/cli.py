@@ -8,12 +8,17 @@ Usage (after ``pip install -e .``)::
     python -m repro report --tuples 100000 --output report.md
     python -m repro join --algorithm PHJ --scheme PL --tuples 500000
     python -m repro plan workload.json --format json
+    cat workload.json | python -m repro plan - --format json
+    python -m repro serve --unix /tmp/plan.sock
 
 ``run`` executes a single experiment runner (see ``list`` for the names),
 ``report`` executes every runner and writes one combined markdown report,
-``join`` runs a single co-processed join and prints its breakdown, and
-``plan`` feeds a JSON workload of optimisation/what-if requests through the
-multi-query plan service (one batched cost-model pass per step series).
+``join`` runs a single co-processed join and prints its breakdown,
+``plan`` feeds a JSON workload of optimisation/what-if requests (from a file
+or stdin) through the multi-query plan service, and ``serve`` runs the
+long-lived asyncio plan server — versioned JSON-lines protocol,
+micro-batching scheduler, per-client weighted fairness (see
+``docs/protocol.md``).
 """
 
 from __future__ import annotations
@@ -28,7 +33,13 @@ from .core.joins import run_join
 from .data.workload import JoinWorkload
 from .experiments import ALL_EXPERIMENTS, ExperimentResult
 from .hardware.machine import coupled_machine, discrete_machine
-from .service import PlanService, SharedEstimateCache, WorkloadError, load_workload
+from .service import (
+    PlanServer,
+    PlanService,
+    SharedEstimateCache,
+    WorkloadError,
+    load_workload,
+)
 
 
 def _supports_argument(runner: Callable, name: str) -> bool:
@@ -154,8 +165,11 @@ def _format_plans(responses, stats, fmt: str) -> str:
 
 def cmd_plan(args: argparse.Namespace) -> int:
     try:
-        with open(args.workload, "r", encoding="utf-8") as handle:
-            payload = json.load(handle)
+        if args.workload == "-":
+            payload = json.load(sys.stdin)
+        else:
+            with open(args.workload, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
     except OSError as exc:
         print(f"cannot read workload: {exc}", file=sys.stderr)
         return 2
@@ -183,6 +197,86 @@ def cmd_plan(args: argparse.Namespace) -> int:
         print(f"wrote {args.output}", file=sys.stderr)
     else:
         print(text)
+    return 0
+
+
+def _parse_weights(entries: Sequence[str]) -> dict[str, float]:
+    """Parse repeated ``--weight client=N`` flags into a weight map."""
+    import math
+
+    weights: dict[str, float] = {}
+    for entry in entries:
+        client, sep, raw = entry.partition("=")
+        if not sep or not client:
+            raise ValueError(f"expected CLIENT=WEIGHT, got {entry!r}")
+        weight = float(raw)
+        # isfinite: NaN passes a plain `<= 0` check and would silently void
+        # the fair queuing the flag exists to configure.
+        if not (math.isfinite(weight) and weight > 0.0):
+            raise ValueError(f"weight for {client!r} must be positive and finite")
+        weights[client] = weight
+    return weights
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    if not args.unix and not args.port:
+        print("serve needs --unix PATH and/or --port PORT", file=sys.stderr)
+        return 2
+    try:
+        weights = _parse_weights(args.weight or [])
+    except ValueError as exc:
+        print(f"invalid --weight: {exc}", file=sys.stderr)
+        return 2
+    if args.rate is not None and args.rate <= 0:
+        print("--rate must be positive", file=sys.stderr)
+        return 2
+    if args.burst is not None and args.burst <= 0:
+        print("--burst must be positive", file=sys.stderr)
+        return 2
+    if args.burst is not None and args.rate is None:
+        print("--burst requires --rate (admission control is rate-based)",
+              file=sys.stderr)
+        return 2
+
+    try:
+        server = PlanServer(
+            service=PlanService(
+                cache=None if args.shared_cache else SharedEstimateCache()
+            ),
+            window_s=args.window_ms / 1000.0,
+            max_batch=args.max_batch,
+            weights=weights,
+            admission_rate=args.rate,
+            admission_burst=args.burst,
+            default_timeout_s=args.default_timeout,
+        )
+    except ValueError as exc:
+        print(f"invalid serve configuration: {exc}", file=sys.stderr)
+        return 2
+
+    async def _serve() -> None:
+        if args.unix:
+            await server.start_unix(args.unix)
+            print(f"plan server listening on unix:{args.unix}", file=sys.stderr)
+        if args.port:
+            await server.start_tcp(args.host, args.port)
+            assert server.tcp_address is not None
+            print(
+                f"plan server listening on "
+                f"tcp:{server.tcp_address[0]}:{server.tcp_address[1]}",
+                file=sys.stderr,
+            )
+        try:
+            await asyncio.Event().wait()
+        finally:
+            await server.close()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("plan server stopped", file=sys.stderr)
     return 0
 
 
@@ -229,7 +323,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="answer a JSON workload of optimisation/what-if requests through "
              "the multi-query plan service",
     )
-    sub_plan.add_argument("workload", help="path to a JSON workload file")
+    sub_plan.add_argument("workload",
+                          help="path to a JSON workload file, or '-' to read "
+                               "the workload from stdin")
     sub_plan.add_argument("--format", choices=("text", "markdown", "json"),
                           default="text")
     sub_plan.add_argument("--output", default=None, help="write the plans to this file")
@@ -238,6 +334,40 @@ def build_parser() -> argparse.ArgumentParser:
                                "fresh one (warm across repeated invocations in "
                                "the same process)")
     sub_plan.set_defaults(func=cmd_plan)
+
+    sub_serve = subparsers.add_parser(
+        "serve",
+        help="run the asyncio plan server (JSON-lines protocol, micro-batching "
+             "scheduler with per-client fairness) over TCP and/or a unix socket",
+    )
+    sub_serve.add_argument("--unix", default=None, metavar="PATH",
+                           help="listen on a unix domain socket at PATH")
+    sub_serve.add_argument("--host", default="127.0.0.1",
+                           help="TCP bind address (default 127.0.0.1)")
+    sub_serve.add_argument("--port", type=int, default=0,
+                           help="TCP port to listen on (0 = disabled)")
+    sub_serve.add_argument("--window-ms", type=float, default=2.0,
+                           help="micro-batching coalescing window in ms "
+                                "(default 2.0; 0 disables coalescing)")
+    sub_serve.add_argument("--max-batch", type=int, default=64,
+                           help="max requests per plan_many micro-batch "
+                                "(default 64)")
+    sub_serve.add_argument("--weight", action="append", metavar="CLIENT=W",
+                           help="fair-queuing weight for a client id "
+                                "(repeatable; default weight 1)")
+    sub_serve.add_argument("--rate", type=float, default=None,
+                           help="token-bucket admission: sustained requests/s "
+                                "per client (default: unlimited)")
+    sub_serve.add_argument("--burst", type=float, default=None,
+                           help="token-bucket burst capacity per client "
+                                "(default: equal to --rate)")
+    sub_serve.add_argument("--default-timeout", type=float, default=None,
+                           help="default per-request deadline in seconds for "
+                                "submissions that do not set their own")
+    sub_serve.add_argument("--shared-cache", action="store_true",
+                           help="use the process-wide estimate cache instead "
+                                "of a fresh one")
+    sub_serve.set_defaults(func=cmd_serve)
     return parser
 
 

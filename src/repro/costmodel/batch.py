@@ -148,6 +148,40 @@ def _step_coefficients(
     return coefficients
 
 
+class _TotalsWorkspace:
+    """Grow-only scratch buffers behind :func:`_stacked_totals`.
+
+    The inner kernel used to allocate ~15 temporaries per call; at 64-request
+    bursts the allocator traffic of those temporaries, not the call overhead,
+    dominates the bill.  Every intermediate now lands in a preallocated
+    ``out=`` buffer sliced from this workspace.  Buffers only ever grow (to
+    the largest ``(m, n)`` seen), so alternating batch shapes — the descent
+    rounds shrink every round — stop allocating after the first pass.
+    """
+
+    def __init__(self) -> None:
+        self.rows = 0
+        self.cols = 0
+        self.full: list[np.ndarray] = []
+        self.bools: list[np.ndarray] = []
+        self.vecs: list[np.ndarray] = []
+
+    def reserve(self, rows: int, cols: int) -> None:
+        if rows > self.rows or cols > self.cols:
+            self.rows = max(rows, self.rows)
+            self.cols = max(cols, self.cols)
+            shape = (self.rows, self.cols)
+            self.full = [np.empty(shape, dtype=np.float64) for _ in range(6)]
+            self.bools = [np.empty(shape, dtype=np.bool_) for _ in range(2)]
+            self.vecs = [np.empty(self.rows, dtype=np.float64) for _ in range(2)]
+
+
+#: Workspaces are per-thread: the raw engine is reachable outside the shared
+#: cache's lock (the service's descent rounds call it directly), so two
+#: planner threads must never scribble into the same scratch buffers.
+_WORKSPACE = threading.local()
+
+
 def _stacked_totals(
     R: np.ndarray, cpu_coeff: np.ndarray, gpu_coeff: np.ndarray
 ) -> np.ndarray:
@@ -158,28 +192,71 @@ def _stacked_totals(
     ``(m, n)`` matrices carrying one coefficient vector per row (the mixed
     case); the broadcasted arithmetic — and its floating-point operation
     order — is identical either way.
+
+    All intermediates go through per-thread preallocated ``out=`` buffers;
+    only the returned totals vector is freshly allocated.  Every rewritten
+    expression keeps the reference operation order (the same elementwise ops
+    on the same inputs), so totals stay bit-identical to the temporary-heavy
+    formulation the Hypothesis parity suite was written against.
     """
-    cpu_step = cpu_coeff * R
-    gpu_step = gpu_coeff * (1.0 - R)
-    cpu_cum = np.cumsum(cpu_step, axis=1)
-    gpu_cum = np.cumsum(gpu_step, axis=1)
-    cpu_total = cpu_cum[:, -1]
-    gpu_total = gpu_cum[:, -1]
-    if R.shape[1] > 1:
-        r_prev = R[:, :-1]
-        r_cur = R[:, 1:]
+    m, n = R.shape
+    ws: _TotalsWorkspace | None = getattr(_WORKSPACE, "totals", None)
+    if ws is None:
+        ws = _WORKSPACE.totals = _TotalsWorkspace()
+    ws.reserve(m, n)
+
+    cpu_cum = ws.full[0][:m, :n]
+    gpu_step = ws.full[1][:m, :n]
+    gpu_cum = ws.full[2][:m, :n]
+    one_minus = ws.full[3][:m, :n]
+
+    np.multiply(cpu_coeff, R, out=cpu_cum)  # Eq. 2 per-step CPU times ...
+    np.cumsum(cpu_cum, axis=1, out=cpu_cum)  # ... accumulated in place
+    np.subtract(1.0, R, out=one_minus)
+    np.multiply(gpu_coeff, one_minus, out=gpu_step)  # Eq. 3 per-step GPU times
+    np.cumsum(gpu_step, axis=1, out=gpu_cum)
+
+    if n > 1:
+        k = n - 1
+        r_prev, r_cur = R[:, :k], R[:, 1:]
+        om_prev, om_cur = one_minus[:, :k], one_minus[:, 1:]
+        wait = ws.full[4][:m, :k]
+        work = ws.full[5][:m, :k]
+        mask = ws.bools[0][:m, :k]
+        off = ws.bools[1][:m, :k]
+        # The divisions are only meaningful inside their masks (where the
+        # denominators are strictly positive); the masked-out lanes may
+        # produce inf/nan and are zeroed below.
         with np.errstate(divide="ignore", invalid="ignore"):
-            not_pipelined = gpu_step[:, :-1] * (1.0 - r_cur) / (1.0 - r_prev)
-            cpu_wait = (gpu_cum[:, :-1] - not_pipelined) - cpu_cum[:, 1:]
-            pipelined_tail = gpu_step[:, 1:] * (1.0 - r_prev) / (1.0 - r_cur)
-            gpu_wait = cpu_cum[:, :-1] - (gpu_cum[:, 1:] - pipelined_tail)
-        cpu_delay = np.where(r_cur > r_prev, np.maximum(cpu_wait, 0.0), 0.0)
-        gpu_delay = np.where(r_cur < r_prev, np.maximum(gpu_wait, 0.0), 0.0)
-        # The scalar path's delay vectors lead with a structural 0.0 for step
-        # 0; adding 0 first leaves the sequential accumulation identical.
-        cpu_total = cpu_total + np.cumsum(cpu_delay, axis=1)[:, -1]
-        gpu_total = gpu_total + np.cumsum(gpu_delay, axis=1)[:, -1]
-    return np.maximum(cpu_total, gpu_total)
+            # Eq. 4: the CPU waits for GPU output of step i-1.
+            np.multiply(gpu_step[:, :k], om_cur, out=work)
+            np.divide(work, om_prev, out=work)  # not_pipelined
+            np.subtract(gpu_cum[:, :k], work, out=wait)
+            np.subtract(wait, cpu_cum[:, 1:], out=wait)  # cpu_wait
+            # Eq. 5: the GPU waits for CPU output of step i-1.
+            np.multiply(gpu_step[:, 1:], om_prev, out=work)
+            np.divide(work, om_cur, out=work)  # pipelined_tail
+            np.subtract(gpu_cum[:, 1:], work, out=work)
+            np.subtract(cpu_cum[:, :k], work, out=work)  # gpu_wait
+        # cpu_delay = where(r_cur > r_prev, max(cpu_wait, 0), 0): clamp in
+        # place, then zero the masked-out lanes (nan comparisons are False,
+        # so nan lanes are zeroed exactly like np.where's else branch).  The
+        # scalar path's delay vectors lead with a structural 0.0 for step 0;
+        # adding 0 first leaves the sequential accumulation identical.
+        np.maximum(wait, 0.0, out=wait)
+        np.greater(r_cur, r_prev, out=mask)
+        np.logical_not(mask, out=off)
+        wait[off] = 0.0
+        np.cumsum(wait, axis=1, out=wait)
+        cpu_total = np.add(cpu_cum[:, -1], wait[:, -1], out=ws.vecs[0][:m])
+        np.maximum(work, 0.0, out=work)
+        np.less(r_cur, r_prev, out=mask)
+        np.logical_not(mask, out=off)
+        work[off] = 0.0
+        np.cumsum(work, axis=1, out=work)
+        gpu_total = np.add(gpu_cum[:, -1], work[:, -1], out=ws.vecs[1][:m])
+        return np.maximum(cpu_total, gpu_total)
+    return np.maximum(cpu_cum[:, -1], gpu_cum[:, -1])
 
 
 def batch_totals(

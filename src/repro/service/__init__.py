@@ -1,10 +1,16 @@
-"""Multi-query plan service over the batched cost-model engine.
+"""Multi-query plan service and serving stack over the batched cost engine.
 
-``PlanService`` accepts many concurrent optimisation/what-if requests,
-groups them by their calibrated-steps fingerprint, and evaluates the stacked
-candidate ratio matrices through one process-wide, thread-safe, LRU-evicting
-``SharedEstimateCache`` — so N similar planning questions cost about one
-vectorized engine invocation instead of N scalar optimisations.
+Two entry layers share one evaluation core:
+
+* **library** — ``PlanService.plan_many`` answers a batch of
+  optimisation/what-if requests through the mixed-series engine and the
+  process-wide, thread-safe, LRU-evicting ``SharedEstimateCache``; batch
+  formation (which requests share a solve) is an injectable strategy.
+* **server** — ``PlanServer`` speaks a versioned JSON-lines protocol
+  (``protocol``) over TCP/unix sockets; a ``MicroBatchScheduler`` coalesces
+  requests across clients into single ``plan_many`` calls with weighted
+  fair queuing, token-bucket admission control and per-request deadlines.
+  ``connect_plan_client`` is the matching asyncio client.
 """
 
 from ..costmodel.batch import (
@@ -20,16 +26,56 @@ from .api import (
     WorkloadError,
     load_workload,
 )
-from .service import PlanService
+from .protocol import (
+    ERROR_ADMISSION,
+    ERROR_CODES,
+    ERROR_DEADLINE,
+    ERROR_INTERNAL,
+    ERROR_INVALID,
+    ERROR_SHUTDOWN,
+    ERROR_UNSUPPORTED_VERSION,
+    PROTOCOL_VERSION,
+    SUPPORTED_VERSIONS,
+    Envelope,
+    ErrorReply,
+    PlanResult,
+    PlanSubmit,
+    ProtocolError,
+)
+from .scheduler import MicroBatchScheduler, SchedulerError, TokenBucket
+from .server import PlanClient, PlanServer, PlanServerError, connect_plan_client
+from .service import PlanService, dedup_tasks
 
 __all__ = [
+    "ERROR_ADMISSION",
+    "ERROR_CODES",
+    "ERROR_DEADLINE",
+    "ERROR_INTERNAL",
+    "ERROR_INVALID",
+    "ERROR_SHUTDOWN",
+    "ERROR_UNSUPPORTED_VERSION",
+    "Envelope",
+    "ErrorReply",
+    "MicroBatchScheduler",
     "OPTIMIZE_SCHEMES",
+    "PROTOCOL_VERSION",
+    "PlanClient",
     "PlanRequest",
     "PlanResponse",
+    "PlanResult",
+    "PlanServer",
+    "PlanServerError",
     "PlanService",
+    "PlanSubmit",
+    "ProtocolError",
+    "SUPPORTED_VERSIONS",
+    "SchedulerError",
     "SharedEstimateCache",
+    "TokenBucket",
     "WHAT_IF",
     "WorkloadError",
+    "connect_plan_client",
+    "dedup_tasks",
     "load_workload",
     "reset_shared_estimate_cache",
     "shared_estimate_cache",

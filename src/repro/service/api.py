@@ -227,6 +227,7 @@ def load_workload(payload: Any) -> list[PlanRequest]:
     if not entries:
         raise WorkloadError("workload contains no requests")
     requests = []
+    first_use: dict[str, int] = {}
     for i, entry in enumerate(entries):
         if (
             default_delta is not None
@@ -234,5 +235,20 @@ def load_workload(payload: Any) -> list[PlanRequest]:
             and entry.get("delta") is None
         ):
             entry = {**entry, "delta": default_delta}
-        requests.append(PlanRequest.from_dict(entry, index=i))
+        request = PlanRequest.from_dict(entry, index=i)
+        # Duplicate ids are rejected outright: responses are addressed by id,
+        # so two distinct payloads sharing one id would silently collapse
+        # into whichever answer the consumer reads last.  (Identical
+        # *questions* under distinct ids are still deduplicated — by task
+        # key, inside the service.)
+        first = first_use.setdefault(request.request_id, i)
+        if first != i:
+            same = requests[first].task_key == request.task_key
+            raise WorkloadError(
+                f"request #{i}: duplicate request id {request.request_id!r} "
+                f"(already used by request #{first}, which asks "
+                f"{'the same' if same else 'a different'} question); give "
+                "every request a unique id"
+            )
+        requests.append(request)
     return requests

@@ -39,7 +39,7 @@ from __future__ import annotations
 
 import threading
 from collections import Counter, OrderedDict
-from typing import Any, Iterable
+from typing import Any, Callable, Iterable, Sequence
 
 import numpy as np
 
@@ -57,7 +57,28 @@ from ..costmodel.optimizer import (
 )
 from .api import WHAT_IF, PlanRequest, PlanResponse, WorkloadError
 
-__all__ = ["PlanService"]
+__all__ = ["BatchFormer", "PlanService", "dedup_tasks"]
+
+#: A batch-formation strategy: maps the validated request batch to the
+#: ordered ``task_key -> representative request`` mapping the evaluation
+#: strategies solve.  Injectable via ``PlanService(batch_former=...)``.
+BatchFormer = Callable[[Sequence[PlanRequest]], "OrderedDict[tuple, PlanRequest]"]
+
+
+def dedup_tasks(batch: Sequence[PlanRequest]) -> "OrderedDict[tuple, PlanRequest]":
+    """Default batch formation: collapse requests with identical task keys.
+
+    The first request with a given key represents the task; every sibling
+    shares its answer.  Custom formers (the micro-batching scheduler's
+    coalesced cross-client batches, sharded services, ...) must return an
+    entry for every task key appearing in the batch — ``plan_many`` rejects
+    a former that drops one, because a silent partial answer set would be
+    indistinguishable from a solved batch.
+    """
+    tasks: OrderedDict[tuple, PlanRequest] = OrderedDict()
+    for request in batch:
+        tasks.setdefault(request.task_key, request)
+    return tasks
 
 
 class PlanService:
@@ -77,9 +98,21 @@ class PlanService:
     strategies return bit-identical plans.
     """
 
-    def __init__(self, cache: EstimateCache | None = None, mixed: bool = True) -> None:
+    def __init__(
+        self,
+        cache: EstimateCache | None = None,
+        mixed: bool = True,
+        batch_former: BatchFormer | None = None,
+    ) -> None:
         self.cache = cache if cache is not None else shared_estimate_cache()
         self.mixed = mixed
+        #: Batch formation is injectable (ISSUE 4): the serving stack's
+        #: micro-batching scheduler coalesces requests across clients and
+        #: windows before they ever reach ``plan_many``, so the grouping
+        #: step must be a strategy, not a baked-in loop.  The default is
+        #: :func:`dedup_tasks`; any replacement must keep answers
+        #: bit-identical (it may only change *which* requests share work).
+        self.batch_former: BatchFormer = batch_former or dedup_tasks
         self._lock = threading.Lock()
         self.requests_served = 0
         self.tasks_solved = 0
@@ -102,11 +135,17 @@ class PlanService:
         if not batch:
             return []
 
-        # 1. Dedup identical tasks; remember how many requests share each.
-        tasks: OrderedDict[tuple, PlanRequest] = OrderedDict()
-        for request in batch:
-            tasks.setdefault(request.task_key, request)
+        # 1. Form the task batch (default: dedup identical task keys) and
+        #    remember how many requests share each task.
+        tasks = self.batch_former(batch)
         group_sizes = Counter(request.task_key for request in batch)
+        missing = [k for k in group_sizes if k not in tasks]
+        if missing:
+            raise WorkloadError(
+                f"batch former dropped {len(missing)} task(s) present in the "
+                "request batch; a former may regroup requests but must keep "
+                "an entry per task key"
+            )
 
         # 2./3. Evaluate and solve every unique task.
         if self.mixed:

@@ -261,3 +261,147 @@ class TestPlanCommandErrorPaths:
         captured = capsys.readouterr()
         assert captured.out == ""
         assert "cannot write plans" in captured.err
+
+
+class TestPlanStdin:
+    """`repro plan -` reads the workload from stdin (scripted pipelines)."""
+
+    def _feed(self, monkeypatch, text: str) -> None:
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO(text))
+
+    def test_stdin_workload_matches_file_workload(self, tmp_path, monkeypatch, capsys):
+        payload = {"requests": [
+            {"id": "q0", "scheme": "DD", "steps": _steps_payload()},
+        ]}
+        assert main(["plan", _workload(tmp_path, payload), "--format", "json"]) == 0
+        from_file = json.loads(capsys.readouterr().out)
+
+        self._feed(monkeypatch, json.dumps(payload))
+        assert main(["plan", "-", "--format", "json"]) == 0
+        from_stdin = json.loads(capsys.readouterr().out)
+        assert from_stdin["plans"] == from_file["plans"]
+
+    def test_stdin_invalid_json_exits_2(self, monkeypatch, capsys):
+        self._feed(monkeypatch, "{broken")
+        assert main(["plan", "-"]) == 2
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "not valid JSON" in captured.err
+
+    def test_stdin_malformed_workload_exits_2(self, monkeypatch, capsys):
+        self._feed(monkeypatch, json.dumps({"requests": []}))
+        assert main(["plan", "-"]) == 2
+        assert "no requests" in capsys.readouterr().err
+
+
+class TestDuplicateRequestIds:
+    """load_workload rejects duplicate ids instead of letting two payloads
+    silently collapse under one answer key."""
+
+    def test_duplicate_ids_distinct_payloads_rejected(self, tmp_path, capsys):
+        workload = _workload(tmp_path, {
+            "requests": [
+                {"id": "q", "scheme": "PL", "steps": _steps_payload()},
+                {"id": "q", "scheme": "DD", "steps": _steps_payload()},
+            ],
+        })
+        assert main(["plan", workload]) == 2
+        err = capsys.readouterr().err
+        assert "duplicate request id 'q'" in err
+        assert "request #1" in err
+        assert "request #0" in err
+        assert "a different question" in err
+
+    def test_duplicate_ids_identical_payloads_rejected_too(self, tmp_path, capsys):
+        entry = {"id": "q", "scheme": "PL", "steps": _steps_payload()}
+        workload = _workload(tmp_path, {"requests": [entry, dict(entry)]})
+        assert main(["plan", workload]) == 2
+        assert "the same question" in capsys.readouterr().err
+
+    def test_unique_ids_still_load(self, tmp_path, capsys):
+        workload = _workload(tmp_path, {
+            "requests": [
+                {"id": "a", "scheme": "PL", "steps": _steps_payload()},
+                {"id": "b", "scheme": "PL", "steps": _steps_payload()},
+            ],
+        })
+        assert main(["plan", workload, "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        # Identical questions under distinct ids still share one solve.
+        assert {p["id"] for p in payload["plans"]} == {"a", "b"}
+        assert payload["stats"]["requests_deduplicated"] == 1
+
+    def test_load_workload_names_duplicate_directly(self):
+        from repro.service import WorkloadError, load_workload
+
+        steps = [{"name": "s", "n_tuples": 10, "cpu_unit_s": 1e-9,
+                  "gpu_unit_s": 1e-9}]
+        with pytest.raises(WorkloadError, match="duplicate request id"):
+            load_workload([
+                {"id": "x", "scheme": "PL", "steps": steps},
+                {"id": "x", "scheme": "OL", "steps": steps},
+            ])
+
+
+class TestServeCommand:
+    def test_parses_serve_defaults(self):
+        args = build_parser().parse_args(["serve", "--unix", "/tmp/p.sock"])
+        assert args.unix == "/tmp/p.sock"
+        assert args.port == 0
+        assert args.window_ms == 2.0
+        assert args.max_batch == 64
+        assert args.rate is None
+        assert args.weight is None
+
+    def test_parses_serve_full_flags(self):
+        args = build_parser().parse_args([
+            "serve", "--port", "9999", "--host", "0.0.0.0",
+            "--window-ms", "5", "--max-batch", "32",
+            "--weight", "alpha=4", "--weight", "beta=1.5",
+            "--rate", "100", "--burst", "200", "--default-timeout", "2.5",
+        ])
+        assert args.port == 9999
+        assert args.weight == ["alpha=4", "beta=1.5"]
+        assert args.default_timeout == 2.5
+
+    def test_serve_without_endpoint_exits_2(self, capsys):
+        assert main(["serve"]) == 2
+        assert "--unix" in capsys.readouterr().err
+
+    def test_serve_bad_weight_exits_2(self, capsys):
+        for weight in ("alpha", "alpha=", "=4", "alpha=zero", "alpha=-1"):
+            assert main(["serve", "--unix", "/tmp/p.sock",
+                         "--weight", weight]) == 2, weight
+            assert "invalid --weight" in capsys.readouterr().err
+
+    def test_serve_bad_rate_exits_2(self, capsys):
+        assert main(["serve", "--unix", "/tmp/p.sock", "--rate", "0"]) == 2
+        assert "--rate" in capsys.readouterr().err
+
+    def test_serve_bad_burst_exits_2(self, capsys):
+        assert main(["serve", "--unix", "/tmp/p.sock", "--rate", "10",
+                     "--burst", "-5"]) == 2
+        assert "--burst" in capsys.readouterr().err
+
+    def test_serve_burst_without_rate_exits_2(self, capsys):
+        assert main(["serve", "--unix", "/tmp/p.sock", "--burst", "10"]) == 2
+        assert "requires --rate" in capsys.readouterr().err
+
+    def test_serve_nan_flags_exit_2(self, capsys):
+        assert main(["serve", "--unix", "/tmp/p.sock",
+                     "--weight", "a=nan"]) == 2
+        assert "invalid --weight" in capsys.readouterr().err
+        assert main(["serve", "--unix", "/tmp/p.sock", "--rate", "nan"]) == 2
+        assert "invalid serve configuration" in capsys.readouterr().err
+
+    def test_serve_bad_scheduler_knobs_exit_2(self, capsys):
+        """Misconfiguration is a startup diagnostic, not a traceback (and
+        never a per-request internal-error on a server that booted)."""
+        assert main(["serve", "--unix", "/tmp/p.sock",
+                     "--window-ms", "-1"]) == 2
+        assert "invalid serve configuration" in capsys.readouterr().err
+        assert main(["serve", "--unix", "/tmp/p.sock",
+                     "--max-batch", "0"]) == 2
+        assert "invalid serve configuration" in capsys.readouterr().err
