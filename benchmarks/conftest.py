@@ -13,6 +13,7 @@ Set the environment variable ``REPRO_BENCH_TUPLES`` to run at a larger scale
 
 from __future__ import annotations
 
+import json
 import os
 import time
 from pathlib import Path
@@ -28,6 +29,12 @@ BENCH_TUPLES = int(os.environ.get("REPRO_BENCH_TUPLES", "200000"))
 #: captures stdout of passing tests; this file is the human-readable report.
 REPORT_PATH = Path(__file__).resolve().parent.parent / "bench_report.txt"
 
+#: Machine-readable companion of the report: every speedup gate records its
+#: measured numbers here (one object per gate), and CI uploads the file as a
+#: build artifact so the perf trajectory across PRs can be charted without
+#: parsing logs.  The "5" is the PR number that introduced the format.
+BENCH_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_5.json"
+
 
 @pytest.fixture(scope="session")
 def bench_tuples() -> int:
@@ -39,6 +46,29 @@ def _fresh_report() -> None:
     REPORT_PATH.write_text(
         f"Regenerated tables and figures (relation size {BENCH_TUPLES} tuples)\n\n"
     )
+    BENCH_JSON_PATH.write_text(
+        json.dumps({"bench_tuples": BENCH_TUPLES, "gates": {}}, indent=2) + "\n"
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_json():
+    """Record one gate's measured numbers in the machine-readable artifact.
+
+    ``bench_json("merge-kernel", speedup=5.7, threshold=5.0, ...)`` merges
+    the fields under ``gates[name]`` in ``BENCH_5.json``; values must be
+    JSON-serialisable (numbers, strings, booleans, lists).
+    """
+
+    def record(name: str, **fields) -> None:
+        try:
+            data = json.loads(BENCH_JSON_PATH.read_text())
+        except (OSError, ValueError):
+            data = {"bench_tuples": BENCH_TUPLES, "gates": {}}
+        data.setdefault("gates", {}).setdefault(name, {}).update(fields)
+        BENCH_JSON_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+    return record
 
 
 @pytest.fixture(scope="session")

@@ -70,7 +70,7 @@ def _mixed_fingerprint_requests() -> list[PlanRequest]:
 
 
 def test_bench_mixed_service_vs_per_fingerprint_gate(
-    benchmark, bench_summary, best_seconds
+    benchmark, bench_summary, bench_json, best_seconds
 ):
     """Acceptance: >= 2x for 64 mixed-fingerprint requests vs the PR 2 path."""
     requests = _mixed_fingerprint_requests()
@@ -104,6 +104,15 @@ def test_bench_mixed_service_vs_per_fingerprint_gate(
         f"mixed-series service: {N_REQUESTS} requests over {N_SERIES} "
         f"fingerprints in {mixed_s * 1e3:.1f} ms vs {legacy_s * 1e3:.1f} ms "
         f"per-fingerprint ({speedup:.1f}x)"
+    )
+    bench_json(
+        "mixed-service",
+        requests=N_REQUESTS,
+        fingerprints=N_SERIES,
+        mixed_ms=round(mixed_s * 1e3, 3),
+        legacy_ms=round(legacy_s * 1e3, 3),
+        speedup=round(speedup, 2),
+        threshold=2.0,
     )
     assert speedup >= 2.0
 

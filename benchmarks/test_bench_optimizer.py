@@ -57,7 +57,7 @@ def test_bench_batch_engine_vs_scalar_rows(benchmark, bench_summary, best_second
     assert speedup >= 5.0
 
 
-def test_bench_pl_optimization_batched_speedup(benchmark, bench_summary, best_seconds):
+def test_bench_pl_optimization_batched_speedup(benchmark, bench_summary, bench_json, best_seconds):
     """Acceptance: >= 5x on an 8-step PL optimisation versus the scalar path."""
     steps = _eight_step_series()
 
@@ -77,4 +77,11 @@ def test_bench_pl_optimization_batched_speedup(benchmark, bench_summary, best_se
                   f"vs scalar {scalar_s * 1e3:.1f} ms ({speedup:.1f}x, "
                   f"{batched.stats['engine_yields']} engine calls, "
                   f"{batched.evaluations} rows)")
+    bench_json(
+        "pl-optimization",
+        batch_ms=round(batch_s * 1e3, 3),
+        scalar_ms=round(scalar_s * 1e3, 3),
+        speedup=round(speedup, 2),
+        threshold=5.0,
+    )
     assert speedup >= 5.0

@@ -119,7 +119,7 @@ def _drive_server(window_s: float, max_batch: int):
     return asyncio.run(go())
 
 
-def test_bench_server_micro_batching_gate(bench_summary):
+def test_bench_server_micro_batching_gate(bench_summary, bench_json):
     """Acceptance: >= 1.5x for 8 clients x 64 requests vs the naive server,
     with every served plan bit-identical to direct plan_many(mixed=True)."""
     # Cold run per measurement (fresh server, scheduler and cache each time);
@@ -164,6 +164,15 @@ def test_bench_server_micro_batching_gate(bench_summary):
         f"plan server: {N_CLIENTS} clients x {N_REQUESTS} requests over "
         f"{N_SERIES} fingerprints in {batched_s * 1e3:.1f} ms micro-batched "
         f"vs {naive_s * 1e3:.1f} ms naive one-per-call ({speedup:.1f}x)"
+    )
+    bench_json(
+        "server-micro-batching",
+        clients=N_CLIENTS,
+        requests=N_REQUESTS,
+        batched_ms=round(batched_s * 1e3, 3),
+        naive_ms=round(naive_s * 1e3, 3),
+        speedup=round(speedup, 2),
+        threshold=1.5,
     )
     assert speedup >= 1.5
 

@@ -59,7 +59,7 @@ def _mixed_requests() -> list[PlanRequest]:
     ]
 
 
-def test_bench_service_throughput_gate(benchmark, bench_summary, best_seconds):
+def test_bench_service_throughput_gate(benchmark, bench_summary, bench_json, best_seconds):
     """Acceptance: >= 3x for 32 mixed requests vs sequential optimisation."""
     requests = _mixed_requests()
 
@@ -89,6 +89,14 @@ def test_bench_service_throughput_gate(benchmark, bench_summary, best_seconds):
     bench_summary(
         f"plan service: {N_REQUESTS} mixed requests in {service_s * 1e3:.1f} ms "
         f"vs {sequential_s * 1e3:.1f} ms sequential ({speedup:.1f}x)"
+    )
+    bench_json(
+        "service-throughput",
+        requests=N_REQUESTS,
+        service_ms=round(service_s * 1e3, 3),
+        sequential_ms=round(sequential_s * 1e3, 3),
+        speedup=round(speedup, 2),
+        threshold=3.0,
     )
     assert speedup >= 3.0
 

@@ -169,18 +169,22 @@ class HashJoinVariant:
                 run.max_pair_table_bytes,
             )
 
-        # 2. Calibrate the cost model from the executed steps.
-        calibration = CalibrationTable.from_series(series_list, machine)
+        # 2. Calibrate the cost model from the executed steps — once per
+        #    series (PHJ repeats step names across passes, so a name-keyed
+        #    lookup over the whole join would be ambiguous); the whole-join
+        #    table reuses the same calibrations instead of re-profiling.
+        series_tables = [
+            CalibrationTable.from_series([series], machine) for series in series_list
+        ]
+        calibration = CalibrationTable.merged(series_tables)
 
         # 3. Plan ratios per phase, 4. measure them.
         executor = CoProcessingExecutor(machine)
         phases: list[PhaseTiming] = []
         plans: list[RatioPlan] = []
         estimated_s = 0.0
-        for series in series_list:
-            # Calibrate per series (PHJ repeats step names across passes, so a
-            # name-keyed lookup over the whole join would be ambiguous).
-            steps = CalibrationTable.from_series([series], machine).step_costs()
+        for series, series_table in zip(series_list, series_tables):
+            steps = series_table.step_costs()
             plan = plan_ratios(
                 scheme, series.phase, steps, delta=config.ratio_delta, cache=cache
             )

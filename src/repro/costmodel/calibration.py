@@ -93,6 +93,18 @@ class CalibrationTable:
                 table.steps.append(calibrate_step(execution, machine))
         return table
 
+    @classmethod
+    def merged(cls, tables: list["CalibrationTable"]) -> "CalibrationTable":
+        """Concatenate per-series tables into one whole-join table.
+
+        ``merged([from_series([s], m) for s in series_list])`` carries the
+        exact :class:`StepCalibration` objects ``from_series(series_list, m)``
+        would compute, in the same order — so a driver that needs both the
+        per-series step costs and the whole-join table (the join executor
+        does) calibrates every step once instead of twice.
+        """
+        return cls(steps=[step for table in tables for step in table.steps])
+
     # ------------------------------------------------------------------
     def for_phase(self, phase: str) -> list[StepCalibration]:
         return [s for s in self.steps if s.phase == phase]

@@ -9,6 +9,7 @@ reproduces the original setting.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
@@ -76,6 +77,19 @@ class ExperimentResult:
         for note in self.notes:
             lines.append(f"note: {note}")
         return "\n".join(lines) + "\n"
+
+    def to_dict(self) -> dict[str, object]:
+        """Machine-readable form (what the benchmark JSON artifacts embed)."""
+        return {
+            "experiment": self.experiment,
+            "description": self.description,
+            "parameters": dict(self.parameters),
+            "rows": [dict(row) for row in self.rows],
+            "notes": list(self.notes),
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, default=str)
 
     def to_markdown(self) -> str:
         names = self.column_names()

@@ -32,7 +32,7 @@ from .hashtable import (
     RID_NODE_BYTES,
     HashTable,
 )
-from .murmur import MURMUR_INSTRUCTIONS_PER_KEY, bucket_of
+from .murmur import MURMUR_INSTRUCTIONS_PER_KEY, bucket_of, bucket_of_hashed
 from .partition import PartitionConfig, PartitionedHashJoin, PHJRun, execute_partition_phase
 from .result import JoinResult
 from .simple import HashJoinConfig, arena_capacity_for
@@ -69,9 +69,11 @@ class CoarseGrainedPHJ:
         config: HashJoinConfig | None = None,
         partition_config: PartitionConfig | None = None,
         target_partition_tuples: int = 64_000,
+        use_kernels: bool = True,
     ) -> None:
         # Separate per-pair tables are inherent to this variant.
         base = config or HashJoinConfig()
+        self.use_kernels = use_kernels
         self.config = HashJoinConfig(
             n_buckets=base.n_buckets,
             allocator_kind=base.allocator_kind,
@@ -94,10 +96,12 @@ class CoarseGrainedPHJ:
             arena_capacity_for(len(build), len(probe)) + (len(build) + len(probe)) * 16
         )
         partition_phase = execute_partition_phase(
-            build, probe, partition_config, self.config, allocator
+            build, probe, partition_config, self.config, allocator,
+            fused=self.use_kernels,
         )
-        build_parts = partition_phase.build_partitions.partitions()
-        probe_parts = partition_phase.probe_partitions.partitions()
+        build_parts = partition_phase.build_partitions.partitions_with_hashes()
+        probe_parts = partition_phase.probe_partitions.partitions_with_hashes()
+        reuse_hashes = partition_config.hash_seed == self.config.hash_seed
 
         per_pair_instructions: list[float] = []
         per_pair_random: list[float] = []
@@ -106,7 +110,9 @@ class CoarseGrainedPHJ:
         results: list[JoinResult] = []
         total_table_bytes = 0
 
-        for build_part, probe_part in zip(build_parts, probe_parts):
+        for (build_part, build_hashes), (probe_part, probe_hashes) in zip(
+            build_parts, probe_parts
+        ):
             if len(build_part) == 0 and len(probe_part) == 0:
                 continue
             table = HashTable(
@@ -114,9 +120,17 @@ class CoarseGrainedPHJ:
                 allocator=allocator,
                 shared_between_devices=False,
             )
-            build_buckets = bucket_of(build_part.keys, table.n_buckets, seed=self.config.hash_seed)
+            build_buckets = (
+                bucket_of_hashed(build_hashes, table.n_buckets)
+                if reuse_hashes and build_hashes is not None
+                else bucket_of(build_part.keys, table.n_buckets, seed=self.config.hash_seed)
+            )
             build_work = table.bulk_insert(build_part.keys, build_part.rids, build_buckets)
-            probe_buckets = bucket_of(probe_part.keys, table.n_buckets, seed=self.config.hash_seed)
+            probe_buckets = (
+                bucket_of_hashed(probe_hashes, table.n_buckets)
+                if reuse_hashes and probe_hashes is not None
+                else bucket_of(probe_part.keys, table.n_buckets, seed=self.config.hash_seed)
+            )
             result, probe_work = table.bulk_probe(probe_part.keys, probe_part.rids, probe_buckets)
             results.append(result)
             total_table_bytes += table.nbytes

@@ -26,6 +26,7 @@ import numpy as np
 from ..data.relation import TUPLE_BYTES, Relation
 from ..hardware.machine import Machine, coupled_machine
 from .murmur import radix_of
+from .partition import split_relation_by_partition
 from .result import JoinResult
 
 #: Chunk size used by the paper when staging data through the buffer.
@@ -67,6 +68,16 @@ class ExternalJoinRun:
 #: (simulated seconds, join result).  The core package provides adapters for
 #: its SHJ-PL / PHJ-PL executors.
 PairJoiner = Callable[[Relation, Relation], tuple[float, JoinResult]]
+
+
+def _split_by_partition(
+    relation: Relation, ids: np.ndarray, n_parts: int, label: str
+) -> list[Relation]:
+    """Split a relation into its super partitions (shared split kernel)."""
+    return [
+        part
+        for part, _ in split_relation_by_partition(relation, ids, n_parts, label)
+    ]
 
 
 def plan_super_partitions(
@@ -137,11 +148,16 @@ class ExternalHashJoin:
                 breakdown.partition_s += (stop - start) / self.partition_rate
                 breakdown.data_copy_s += self.machine.memory.copy_time(chunk_bytes)  # out
 
-        # Stage 2: join each linked partition pair inside the buffer.
+        # Stage 2: join each linked partition pair inside the buffer.  The
+        # pairs are carved out of one stable argsort per relation instead of
+        # one boolean scan per partition (the former per-pid masking walked
+        # both relations n_parts times).
         results: list[JoinResult] = []
+        build_parts = _split_by_partition(build, build_ids, n_parts, "R")
+        probe_parts = _split_by_partition(probe, probe_ids, n_parts, "S")
         for pid in range(n_parts):
-            build_part = build.take(np.flatnonzero(build_ids == pid), name=f"R[{pid}]")
-            probe_part = probe.take(np.flatnonzero(probe_ids == pid), name=f"S[{pid}]")
+            build_part = build_parts[pid]
+            probe_part = probe_parts[pid]
             if len(build_part) == 0 or len(probe_part) == 0:
                 continue
             pair_bytes = build_part.nbytes + probe_part.nbytes

@@ -112,6 +112,7 @@ class HashTable:
         self.key_node_rid_head = np.empty(capacity, dtype=np.int64)
         self.key_node_rid_count = np.empty(capacity, dtype=np.int64)
         self.key_node_chain_pos = np.empty(capacity, dtype=np.int64)
+        self.key_node_bucket = np.empty(capacity, dtype=np.int64)
         self.n_key_nodes = 0
 
         # Rid-list nodes.
@@ -124,6 +125,11 @@ class HashTable:
         self._csr_dirty = True
         self._csr_offsets: np.ndarray | None = None
         self._csr_rids: np.ndarray | None = None
+
+        # Lazily sorted key-node keys shared by lookups and probes.
+        self._key_order_dirty = True
+        self._key_order: np.ndarray | None = None
+        self._sorted_keys: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     # Capacity management
@@ -140,6 +146,7 @@ class HashTable:
             "key_node_rid_head",
             "key_node_rid_count",
             "key_node_chain_pos",
+            "key_node_bucket",
         ):
             old = getattr(self, name)
             grown = np.empty(new_capacity, dtype=np.int64)
@@ -188,17 +195,7 @@ class HashTable:
         nodes = self._lookup_nodes(np.asarray([int(key)], dtype=np.int64))
         if nodes[0] < 0:
             return None
-        node = int(nodes[0])
-        # Walk back via chain position: cheaper to recompute from the key
-        # node's stored bucket via the rid owner; buckets are not stored per
-        # key node, so recover it from the chain structure on demand.
-        for bucket in range(self.n_buckets):  # pragma: no cover - debug helper
-            idx = self.bucket_head[bucket]
-            while idx != -1:
-                if idx == node:
-                    return bucket
-                idx = self.key_node_next[idx]
-        return None
+        return int(self.key_node_bucket[int(nodes[0])])
 
     def latch_conflict_ratio(self, device_kind: str) -> float:
         """Bucket-latch contention observed so far on one device kind."""
@@ -248,7 +245,9 @@ class HashTable:
             self.key_node_rid_head[found] = -1
             self.key_node_rid_count[found] = 0
             self.key_node_chain_pos[found] = self.bucket_key_count[bucket]
+            self.key_node_bucket[found] = bucket
             self.n_key_nodes += 1
+            self._key_order_dirty = True
             if last == -1 and self.bucket_head[bucket] == -1:
                 self.bucket_head[bucket] = found
             else:
@@ -291,18 +290,25 @@ class HashTable:
     # ------------------------------------------------------------------
     # Bulk (vectorised) path
     # ------------------------------------------------------------------
+    def _sorted_key_view(self) -> tuple[np.ndarray, np.ndarray]:
+        """(sorted live key-node keys, argsort order), cached until inserts."""
+        if self._key_order_dirty or self._key_order is None:
+            table_keys = self.key_node_key[: self.n_key_nodes]
+            self._key_order = np.argsort(table_keys, kind="stable")
+            self._sorted_keys = table_keys[self._key_order]
+            self._key_order_dirty = False
+        return self._sorted_keys, self._key_order
+
     def _lookup_nodes(self, keys: np.ndarray) -> np.ndarray:
         """Key-node index per key (-1 when absent), fully vectorised.
 
-        Sorts the live key-node keys and binary-searches the queries, the
+        Binary-searches the queries against the cached sorted key view, the
         same technique :meth:`bulk_probe` uses; the common build path (bulk
         inserts into a fresh table) skips it entirely via the empty check.
         """
         if self.n_key_nodes == 0:
             return np.full(keys.shape[0], -1, dtype=np.int64)
-        table_keys = self.key_node_key[: self.n_key_nodes]
-        key_order = np.argsort(table_keys, kind="stable")
-        sorted_table_keys = table_keys[key_order]
+        sorted_table_keys, key_order = self._sorted_key_view()
         positions = np.searchsorted(sorted_table_keys, keys)
         positions_clipped = np.minimum(positions, self.n_key_nodes - 1)
         found = (positions < self.n_key_nodes) & (
@@ -362,52 +368,9 @@ class HashTable:
         # b3 new key nodes: append them to their buckets' chains.
         group_node = existing_nodes.copy()
         if n_new:
-            self._ensure_key_capacity(n_new)
-            self.allocator.bulk_allocate(
-                n_new, KEY_NODE_BYTES, n_groups=max(1, n_new // 256)
+            group_node[is_new] = self._append_key_nodes(
+                group_keys[is_new], group_buckets[is_new]
             )
-            new_node_ids = self.n_key_nodes + np.arange(n_new, dtype=np.int64)
-            new_buckets = group_buckets[is_new]
-            new_keys = group_keys[is_new]
-
-            # Rank of each new key inside its bucket's run of new keys.
-            run_start = np.ones(n_new, dtype=bool)
-            run_start[1:] = new_buckets[1:] != new_buckets[:-1]
-            run_first_index = np.flatnonzero(run_start)
-            run_id = np.cumsum(run_start) - 1
-            rank_in_run = np.arange(n_new) - run_first_index[run_id]
-            chain_pos = self.bucket_key_count[new_buckets] + rank_in_run
-
-            self.key_node_key[new_node_ids] = new_keys
-            self.key_node_rid_head[new_node_ids] = -1
-            self.key_node_rid_count[new_node_ids] = 0
-            self.key_node_chain_pos[new_node_ids] = chain_pos
-
-            # next pointers: consecutive new nodes of the same bucket chain up;
-            # the last node of each run terminates the chain.
-            next_ids = np.full(n_new, -1, dtype=np.int64)
-            same_bucket_as_next = np.zeros(n_new, dtype=bool)
-            same_bucket_as_next[:-1] = new_buckets[1:] == new_buckets[:-1]
-            next_ids[same_bucket_as_next] = new_node_ids[1:][same_bucket_as_next[:-1]]
-            self.key_node_next[new_node_ids] = next_ids
-
-            # Attach each run to the existing chain (tail append) or make it
-            # the bucket head.
-            run_first_nodes = new_node_ids[run_first_index]
-            run_buckets = new_buckets[run_first_index]
-            run_last_index = np.append(run_first_index[1:], n_new) - 1
-            run_last_nodes = new_node_ids[run_last_index]
-            had_tail = self.bucket_tail[run_buckets] >= 0
-            tails = self.bucket_tail[run_buckets][had_tail]
-            self.key_node_next[tails] = run_first_nodes[had_tail]
-            self.bucket_head[run_buckets[~had_tail]] = run_first_nodes[~had_tail]
-            self.bucket_tail[run_buckets] = run_last_nodes
-
-            run_sizes = np.diff(np.append(run_first_index, n_new))
-            np.add.at(self.bucket_key_count, run_buckets, run_sizes)
-
-            group_node[is_new] = new_node_ids
-            self.n_key_nodes += n_new
 
         # b4: one rid node per tuple, prepended group-wise to the key's list.
         self._ensure_rid_capacity(n)
@@ -450,6 +413,63 @@ class HashTable:
             latch_conflict=conflict,
         )
 
+    def _append_key_nodes(self, new_keys: np.ndarray, new_buckets: np.ndarray) -> np.ndarray:
+        """Append new key nodes to their buckets' chains; returns their ids.
+
+        ``new_buckets`` must arrive grouped (all nodes of one bucket
+        consecutive) in the order the nodes should chain up — the
+        ``(bucket, key)``-sorted group order both :meth:`bulk_insert` and
+        :meth:`_bulk_merge` produce.  This is the single implementation of
+        the b3 chain-append kernel, so the two callers cannot drift.
+        """
+        n_new = new_keys.shape[0]
+        self._ensure_key_capacity(n_new)
+        self.allocator.bulk_allocate(
+            n_new, KEY_NODE_BYTES, n_groups=max(1, n_new // 256)
+        )
+        new_node_ids = self.n_key_nodes + np.arange(n_new, dtype=np.int64)
+
+        # Rank of each new key inside its bucket's run of new keys.
+        run_start = np.ones(n_new, dtype=bool)
+        run_start[1:] = new_buckets[1:] != new_buckets[:-1]
+        run_first_index = np.flatnonzero(run_start)
+        run_id = np.cumsum(run_start) - 1
+        rank_in_run = np.arange(n_new) - run_first_index[run_id]
+        chain_pos = self.bucket_key_count[new_buckets] + rank_in_run
+
+        self.key_node_key[new_node_ids] = new_keys
+        self.key_node_rid_head[new_node_ids] = -1
+        self.key_node_rid_count[new_node_ids] = 0
+        self.key_node_chain_pos[new_node_ids] = chain_pos
+        self.key_node_bucket[new_node_ids] = new_buckets
+
+        # next pointers: consecutive new nodes of the same bucket chain up;
+        # the last node of each run terminates the chain.
+        next_ids = np.full(n_new, -1, dtype=np.int64)
+        same_bucket_as_next = np.zeros(n_new, dtype=bool)
+        same_bucket_as_next[:-1] = new_buckets[1:] == new_buckets[:-1]
+        next_ids[same_bucket_as_next] = new_node_ids[1:][same_bucket_as_next[:-1]]
+        self.key_node_next[new_node_ids] = next_ids
+
+        # Attach each run to the existing chain (tail append) or make it
+        # the bucket head.
+        run_first_nodes = new_node_ids[run_first_index]
+        run_buckets = new_buckets[run_first_index]
+        run_last_index = np.append(run_first_index[1:], n_new) - 1
+        run_last_nodes = new_node_ids[run_last_index]
+        had_tail = self.bucket_tail[run_buckets] >= 0
+        tails = self.bucket_tail[run_buckets][had_tail]
+        self.key_node_next[tails] = run_first_nodes[had_tail]
+        self.bucket_head[run_buckets[~had_tail]] = run_first_nodes[~had_tail]
+        self.bucket_tail[run_buckets] = run_last_nodes
+
+        run_sizes = np.diff(np.append(run_first_index, n_new))
+        np.add.at(self.bucket_key_count, run_buckets, run_sizes)
+
+        self.n_key_nodes += n_new
+        self._key_order_dirty = True
+        return new_node_ids
+
     def _rebuild_csr(self) -> None:
         """Materialise rid lists as a CSR layout keyed by key-node index."""
         n = self.n_rid_nodes
@@ -491,9 +511,7 @@ class HashTable:
             found_mask = np.zeros(n, dtype=bool)
             node_of_probe = np.full(n, -1, dtype=np.int64)
         else:
-            table_keys = self.key_node_key[: self.n_key_nodes]
-            key_order = np.argsort(table_keys, kind="stable")
-            sorted_table_keys = table_keys[key_order]
+            sorted_table_keys, key_order = self._sorted_key_view()
             positions = np.searchsorted(sorted_table_keys, keys)
             positions_clipped = np.minimum(positions, self.n_key_nodes - 1)
             found_mask = (positions < self.n_key_nodes) & (
@@ -544,12 +562,20 @@ class HashTable:
     # ------------------------------------------------------------------
     # Merging (separate hash tables on DD / the discrete architecture)
     # ------------------------------------------------------------------
-    def merge_from(self, other: "HashTable") -> dict[str, float]:
+    def merge_from(self, other: "HashTable", use_bulk: bool = True) -> dict[str, float]:
         """Merge another partial table into this one.
 
         Returns the merge work (node copies and pointer fixes) that the DD
         scheme with *separate* hash tables must pay; with a shared hash table
         this operation disappears (Section 5.2, Figure 10).
+
+        The default path gathers the other table's ``(key, rid)`` pairs from
+        its CSR view and applies them with one vectorised :meth:`bulk_insert`
+        pass.  ``use_bulk=False`` keeps the historical per-bucket/per-node
+        chain walk as the bit-matched reference: both paths feed
+        :meth:`bulk_insert` tuple sequences that agree within every
+        ``(bucket, key)`` group, so the resulting chains, counters and
+        returned work dict are identical.
         """
         if other.n_buckets != self.n_buckets:
             raise HashTableError("cannot merge tables with different bucket counts")
@@ -560,20 +586,22 @@ class HashTable:
 
         # Re-attach the other table's tuples under this table's chains.  The
         # logical effect is identical to having inserted them here directly.
-        owners = other.rid_node_owner[:n_rids]
-        keys = other.key_node_key[owners]
-        rids = other.rid_node_rid[:n_rids]
-        # Recover bucket numbers from the other table's chains: a key's bucket
-        # is where its key node was chained.
-        buckets = np.empty(n_rids, dtype=np.int64)
-        key_to_bucket = np.empty(other.n_key_nodes, dtype=np.int64)
-        for bucket in range(other.n_buckets):
-            node = other.bucket_head[bucket]
-            while node != -1:
-                key_to_bucket[node] = bucket
-                node = other.key_node_next[node]
-        buckets = key_to_bucket[owners]
-        self.bulk_insert(keys, rids, buckets)
+        if use_bulk:
+            self._bulk_merge(other)
+        else:
+            owners = other.rid_node_owner[:n_rids]
+            keys = other.key_node_key[owners]
+            rids = other.rid_node_rid[:n_rids]
+            # Recover bucket numbers from the other table's chains: a key's
+            # bucket is where its key node was chained.
+            key_to_bucket = np.empty(other.n_key_nodes, dtype=np.int64)
+            for bucket in range(other.n_buckets):
+                node = other.bucket_head[bucket]
+                while node != -1:
+                    key_to_bucket[node] = bucket
+                    node = other.key_node_next[node]
+            buckets = key_to_bucket[owners]
+            self.bulk_insert(keys, rids, buckets)
 
         return {
             "key_nodes": float(n_keys),
@@ -581,16 +609,137 @@ class HashTable:
             "bytes": float(n_keys * KEY_NODE_BYTES + n_rids * RID_NODE_BYTES),
         }
 
+    def _bulk_merge(self, other: "HashTable") -> None:
+        """Apply all of ``other``'s tuples in one node-level vectorised pass.
+
+        :meth:`bulk_insert` must sort, group and work-account *tuples*; a
+        merge already knows the groups — they are exactly the other table's
+        key nodes, and its CSR view holds every group's rid segment
+        contiguously.  Sorting the ``nk`` key nodes by ``(bucket, key)`` and
+        expanding their rid segments reproduces bit-for-bit the tuple order
+        the generic path's lexsort would produce (groups are unique per
+        ``(bucket, key)``, segment interiors keep CSR order), so every node
+        array, counter and allocator statistic ends up identical — while the
+        per-tuple work arrays (which a merge discards) are never built.
+        """
+        nk = other.n_key_nodes
+        n = other.n_rid_nodes
+        if other._csr_dirty:
+            other._rebuild_csr()
+        seg_counts = np.diff(other._csr_offsets)
+
+        # Group arrays sorted by (bucket, key) — what the generic lexsort
+        # would compute from the expanded tuples.
+        node_order = np.lexsort(
+            (other.key_node_key[:nk], other.key_node_bucket[:nk])
+        )
+        group_keys = other.key_node_key[:nk][node_order]
+        group_buckets = other.key_node_bucket[:nk][node_order]
+        group_sizes = seg_counts[node_order]
+
+        # Expand the rid segments into the grouped order.
+        out_offsets = np.concatenate(([0], np.cumsum(group_sizes)))
+        src_starts = other._csr_offsets[:-1][node_order]
+        flat = (
+            np.arange(n)
+            - np.repeat(out_offsets[:-1], group_sizes)
+            + np.repeat(src_starts, group_sizes)
+        )
+        s_rids = other._csr_rids[flat]
+
+        existing_nodes = self._lookup_nodes(group_keys)
+        is_new = existing_nodes < 0
+        n_new = int(is_new.sum())
+
+        # b2-equivalent: one bucket-header visit (and latch) per tuple.
+        np.add.at(self.bucket_tuple_count, group_buckets, group_sizes)
+        np.add.at(self.latches.acquisitions, group_buckets, group_sizes)
+
+        # b3-equivalent: append the unmatched key nodes to their buckets'
+        # chains — the shared chain-append kernel, on node-level arrays.
+        group_node = existing_nodes.copy()
+        if n_new:
+            group_node[is_new] = self._append_key_nodes(
+                group_keys[is_new], group_buckets[is_new]
+            )
+
+        # b4-equivalent: copy the rid segments wholesale.  Rid ids are
+        # consecutive in grouped order, so intra-segment chaining is just
+        # ``id + 1``; segment tails point at the owners' previous heads.
+        self._ensure_rid_capacity(n)
+        self.allocator.bulk_allocate(n, RID_NODE_BYTES, n_groups=max(1, n // 256))
+        start = self.n_rid_nodes
+        rid_ids = start + np.arange(n, dtype=np.int64)
+        self.rid_node_rid[start : start + n] = s_rids
+        self.rid_node_owner[start : start + n] = np.repeat(group_node, group_sizes)
+        next_rid = rid_ids + 1
+        next_rid[out_offsets[1:] - 1] = self.key_node_rid_head[group_node]
+        self.rid_node_next[start : start + n] = next_rid
+        self.key_node_rid_head[group_node] = rid_ids[out_offsets[:-1]]
+        np.add.at(self.key_node_rid_count, group_node, group_sizes)
+        self.n_rid_nodes += n
+        self._csr_dirty = True
+
     # ------------------------------------------------------------------
-    def validate(self) -> None:
-        """Internal consistency checks used by tests and property-based tests."""
+    def validate(self, use_bulk: bool = True) -> None:
+        """Internal consistency checks used by tests and property-based tests.
+
+        The default path verifies the chain structure with vectorised
+        array comparisons over the node arrays (the same view the CSR merge
+        gathers from); ``use_bulk=False`` keeps the historical per-bucket
+        chain walk as the reference.  Both raise on the same corruption
+        classes (wrong counts, broken or cyclic chains, unreachable nodes).
+        """
         if int(self.bucket_key_count.sum()) != self.n_key_nodes:
             raise HashTableError("bucket key counts do not sum to the key node count")
         if int(self.bucket_tuple_count.sum()) != self.n_rid_nodes:
             raise HashTableError("bucket tuple counts do not sum to the rid node count")
         if int(self.key_node_rid_count[: self.n_key_nodes].sum()) != self.n_rid_nodes:
             raise HashTableError("key node rid counts do not sum to the rid node count")
-        # Every chain must be reachable and contain exactly bucket_key_count nodes.
+        if not use_bulk:
+            self._validate_chains_scalar()
+            return
+
+        # Every chain must be reachable and contain exactly bucket_key_count
+        # nodes.  A chain is healthy iff, per bucket, the live nodes' chain
+        # positions are exactly 0..count-1, the head points at position 0,
+        # the tail at the last position, and every next pointer links
+        # position k to position k+1 — all checkable with one lexsort.
+        nk = self.n_key_nodes
+        buckets = self.key_node_bucket[:nk]
+        if nk and (buckets.min() < 0 or buckets.max() >= self.n_buckets):
+            raise HashTableError("key node bucket out of range")
+        counts = np.bincount(buckets, minlength=self.n_buckets)
+        if not np.array_equal(counts, self.bucket_key_count):
+            raise HashTableError("chain lengths do not match recorded bucket key counts")
+        if np.any(self.bucket_head[self.bucket_key_count == 0] != -1):
+            raise HashTableError("empty bucket with a non-empty chain head")
+        if nk == 0:
+            return
+        pos = self.key_node_chain_pos[:nk]
+        order = np.lexsort((pos, buckets))
+        sorted_buckets = buckets[order]
+        starts = np.flatnonzero(
+            np.concatenate(([True], sorted_buckets[1:] != sorted_buckets[:-1]))
+        )
+        sizes = np.diff(np.append(starts, nk))
+        expected_pos = np.arange(nk) - np.repeat(starts, sizes)
+        if not np.array_equal(pos[order], expected_pos):
+            raise HashTableError("chain positions are not consecutive within buckets")
+        nodes_sorted = order.astype(np.int64)
+        expected_next = np.full(nk, -1, dtype=np.int64)
+        same_bucket = sorted_buckets[1:] == sorted_buckets[:-1]
+        expected_next[:-1][same_bucket] = nodes_sorted[1:][same_bucket]
+        if not np.array_equal(self.key_node_next[nodes_sorted], expected_next):
+            raise HashTableError("key chain next pointers are inconsistent")
+        if not np.array_equal(self.bucket_head[sorted_buckets[starts]], nodes_sorted[starts]):
+            raise HashTableError("bucket heads do not point at chain position 0")
+        last = np.append(starts[1:], nk) - 1
+        if not np.array_equal(self.bucket_tail[sorted_buckets[last]], nodes_sorted[last]):
+            raise HashTableError("bucket tails do not point at the last chain node")
+
+    def _validate_chains_scalar(self) -> None:
+        """Reference chain walk (the pre-kernel validate loop)."""
         seen = 0
         for bucket in range(self.n_buckets):
             node = self.bucket_head[bucket]

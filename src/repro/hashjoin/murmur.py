@@ -72,7 +72,19 @@ def bucket_of(keys: np.ndarray, n_buckets: int, seed: int = DEFAULT_SEED) -> np.
     """Hash bucket number of each key (step ``b1``/``p1``)."""
     if n_buckets <= 0:
         raise ValueError("n_buckets must be positive")
-    return (murmur2(keys, seed=seed) % np.uint64(n_buckets)).astype(np.int64)
+    return bucket_of_hashed(murmur2(keys, seed=seed), n_buckets)
+
+
+def bucket_of_hashed(hashes: np.ndarray, n_buckets: int) -> np.ndarray:
+    """Bucket numbers from already-evaluated hash values.
+
+    Radix partitioning and bucket assignment consume the same MurmurHash
+    value (when they share a seed), so callers that carried the hashes
+    through partitioning skip re-evaluating them per partition pair.
+    """
+    if n_buckets <= 0:
+        raise ValueError("n_buckets must be positive")
+    return (np.asarray(hashes, dtype=np.uint64) % np.uint64(n_buckets)).astype(np.int64)
 
 
 def radix_of(
@@ -95,3 +107,18 @@ def radix_of(
     shift = np.uint64(bits * pass_index)
     mask = np.uint64((1 << bits) - 1)
     return ((hashed >> shift) & mask).astype(np.int64)
+
+
+def radix_span_of(keys: np.ndarray, total_bits: int, seed: int = DEFAULT_SEED) -> np.ndarray:
+    """The lowest ``total_bits`` radix bits in a single hash evaluation.
+
+    Successive radix passes consume successive bit groups of the *same* hash
+    value, so the concatenation of every pass's digits is just the hash
+    masked to the total bit width: one murmur evaluation instead of one per
+    pass.  Bit-identical to OR-ing :func:`radix_of` digits into place.
+    """
+    if total_bits <= 0:
+        raise ValueError("total_bits must be positive")
+    hashed = murmur2(keys, seed=seed)
+    mask = np.uint64((1 << total_bits) - 1)
+    return (hashed & mask).astype(np.int64)

@@ -18,7 +18,14 @@ from ..data.relation import Relation
 from ..hardware.cache import WorkingSet
 from ..opencl.allocator import MemoryAllocator
 from .hashtable import BUCKET_HEADER_BYTES, KEY_NODE_BYTES, RID_NODE_BYTES, HashTable
-from .murmur import DEFAULT_SEED, MURMUR_INSTRUCTIONS_PER_KEY, radix_of
+from .murmur import (
+    DEFAULT_SEED,
+    MURMUR_INSTRUCTIONS_PER_KEY,
+    bucket_of_hashed,
+    murmur2,
+    radix_of,
+    radix_span_of,
+)
 from .result import JoinResult
 from .simple import HashJoinConfig, arena_capacity_for, execute_build, execute_probe
 from .steps import (
@@ -88,11 +95,17 @@ def plan_partitioning(
 
 @dataclass
 class PartitionSet:
-    """The output of radix partitioning one relation."""
+    """The output of radix partitioning one relation.
+
+    ``key_hashes`` optionally carries the murmur values the fused partition
+    kernel evaluated (one per tuple, partition seed), so downstream bucket
+    assignment can reuse them instead of re-hashing every partition pair.
+    """
 
     relation: Relation
     partition_ids: np.ndarray
     config: PartitionConfig
+    key_hashes: np.ndarray | None = None
 
     @property
     def n_partitions(self) -> int:
@@ -103,21 +116,58 @@ class PartitionSet:
         return self.relation.take(np.flatnonzero(mask), name=f"{self.relation.name}[{pid}]")
 
     def partition_sizes(self) -> np.ndarray:
-        sizes = np.zeros(self.n_partitions, dtype=np.int64)
-        np.add.at(sizes, self.partition_ids, 1)
-        return sizes
+        return np.bincount(self.partition_ids, minlength=self.n_partitions).astype(
+            np.int64
+        )
 
     def partitions(self) -> list[Relation]:
-        order = np.argsort(self.partition_ids, kind="stable")
-        sorted_ids = self.partition_ids[order]
-        sizes = self.partition_sizes()
-        offsets = np.concatenate(([0], np.cumsum(sizes)))
-        sorted_rel = self.relation.take(order)
-        return [
-            sorted_rel.slice(int(offsets[p]), int(offsets[p + 1]),
-                             name=f"{self.relation.name}[{p}]")
-            for p in range(self.n_partitions)
-        ]
+        return [relation for relation, _ in self.partitions_with_hashes()]
+
+    def partitions_with_hashes(self) -> list[tuple[Relation, np.ndarray | None]]:
+        """(partition relation, carried hash slice or None) per partition."""
+        return split_relation_by_partition(
+            self.relation,
+            self.partition_ids,
+            self.n_partitions,
+            self.relation.name,
+            key_hashes=self.key_hashes,
+        )
+
+
+def split_relation_by_partition(
+    relation: Relation,
+    ids: np.ndarray,
+    n_parts: int,
+    label: str,
+    key_hashes: np.ndarray | None = None,
+) -> list[tuple[Relation, np.ndarray | None]]:
+    """Carve a relation into its partitions with one stable argsort.
+
+    Equivalent to ``relation.take(np.flatnonzero(ids == pid))`` per pid —
+    a stable sort keeps ascending positions inside every partition, so each
+    part's tuples come out in the identical order.  The single split kernel
+    behind :meth:`PartitionSet.partitions_with_hashes` and the external
+    join's super-partition staging; ``key_hashes``, when carried, is sliced
+    alongside.
+    """
+    ids = np.asarray(ids)
+    if ids.size and (ids.min() < 0 or ids.max() >= n_parts):
+        raise PartitionError(
+            f"partition ids out of range [0, {n_parts}); bincount would "
+            "silently drop those tuples"
+        )
+    order = np.argsort(ids, kind="stable")
+    sizes = np.bincount(ids, minlength=n_parts)
+    offsets = np.concatenate(([0], np.cumsum(sizes)))
+    sorted_rel = relation.take(order)
+    sorted_hashes = key_hashes[order] if key_hashes is not None else None
+    out: list[tuple[Relation, np.ndarray | None]] = []
+    for pid in range(n_parts):
+        start, stop = int(offsets[pid]), int(offsets[pid + 1])
+        part = sorted_rel.slice(start, stop, name=f"{label}[{pid}]")
+        hashes = sorted_hashes[start:stop] if sorted_hashes is not None else None
+        out.append((part, hashes))
+    return out
 
 
 @dataclass
@@ -151,9 +201,16 @@ class PHJRun:
 # Partition phase: n1 .. n3 per pass
 # ---------------------------------------------------------------------------
 def final_partition_ids(
-    keys: np.ndarray, config: PartitionConfig
+    keys: np.ndarray, config: PartitionConfig, fused: bool = True
 ) -> np.ndarray:
-    """Partition id after all passes (the concatenation of per-pass radix bits)."""
+    """Partition id after all passes (the concatenation of per-pass radix bits).
+
+    The fused kernel evaluates the hash once and masks out all passes' bits
+    in one shot; ``fused=False`` keeps the per-pass loop (one hash evaluation
+    and shift/OR per pass) as the bit-matched reference.
+    """
+    if fused:
+        return radix_span_of(keys, config.total_bits, seed=config.hash_seed)
     ids = np.zeros(np.asarray(keys).shape[0], dtype=np.int64)
     for pass_index in range(config.n_passes):
         digits = radix_of(keys, config.bits_per_pass, pass_index, seed=config.hash_seed)
@@ -174,7 +231,27 @@ def execute_partition_pass(
     ``n_live_partitions`` is the number of partitions existing after this
     pass, which determines the size of the partition-header working set.
     """
-    n = np.asarray(keys).shape[0]
+    return _partition_pass_series(
+        np.asarray(keys).shape[0],
+        pass_index,
+        config,
+        allocator,
+        n_live_partitions,
+        shared_between_devices,
+    )
+
+
+def _partition_pass_series(
+    n: int,
+    pass_index: int,
+    config: PartitionConfig,
+    allocator: MemoryAllocator,
+    n_live_partitions: int,
+    shared_between_devices: bool = True,
+) -> StepSeries:
+    """One pass's step series from the tuple count alone (the per-tuple work
+    of the partition steps is uniform, so the keys are only needed once for
+    the fused partition-id kernel, not per pass)."""
     # n1: compute the partition number (hash + bit extraction).
     n1 = StepExecution(
         step=PARTITION_STEPS[0],
@@ -237,16 +314,30 @@ def execute_partition_phase(
     partition_config: PartitionConfig,
     join_config: HashJoinConfig,
     allocator: MemoryAllocator,
+    fused: bool = True,
 ) -> PartitionPhaseOutcome:
-    """Partition both relations; one combined step series per pass."""
+    """Partition both relations; one combined step series per pass.
+
+    The fused kernel hashes each relation once and derives every pass's
+    radix digits from that single evaluation (the per-pass step series need
+    only the tuple count); ``fused=False`` keeps the per-pass loop over the
+    concatenated keys as the bit-matched reference.
+    """
     series: list[StepSeries] = []
-    combined_keys = np.concatenate([build.keys, probe.keys]) if (len(build) + len(probe)) else np.empty(0, dtype=np.int64)
+    n_combined = len(build) + len(probe)
+    combined_keys: np.ndarray | None = None
+    if not fused:
+        combined_keys = (
+            np.concatenate([build.keys, probe.keys])
+            if n_combined
+            else np.empty(0, dtype=np.int64)
+        )
     live = 1
     for pass_index in range(partition_config.n_passes):
         live *= partition_config.fanout_per_pass
         series.append(
-            execute_partition_pass(
-                combined_keys,
+            _partition_pass_series(
+                n_combined if fused else combined_keys.shape[0],
                 pass_index,
                 partition_config,
                 allocator,
@@ -255,24 +346,65 @@ def execute_partition_phase(
             )
         )
 
-    build_ids = final_partition_ids(build.keys, partition_config)
-    probe_ids = final_partition_ids(probe.keys, partition_config)
+    if fused:
+        # One hash evaluation per relation: the partition ids are its low
+        # bits, and the values are carried so per-pair bucket assignment
+        # can reuse them (b1/p1 consume the same murmur value).
+        mask = np.uint64(partition_config.n_partitions - 1)
+        build_hashes = murmur2(build.keys, seed=partition_config.hash_seed)
+        probe_hashes = murmur2(probe.keys, seed=partition_config.hash_seed)
+        build_ids = (build_hashes & mask).astype(np.int64)
+        probe_ids = (probe_hashes & mask).astype(np.int64)
+    else:
+        build_hashes = probe_hashes = None
+        build_ids = final_partition_ids(build.keys, partition_config, fused=False)
+        probe_ids = final_partition_ids(probe.keys, partition_config, fused=False)
     return PartitionPhaseOutcome(
         series_per_pass=series,
-        build_partitions=PartitionSet(build, build_ids, partition_config),
-        probe_partitions=PartitionSet(probe, probe_ids, partition_config),
+        build_partitions=PartitionSet(
+            build, build_ids, partition_config, key_hashes=build_hashes
+        ),
+        probe_partitions=PartitionSet(
+            probe, probe_ids, partition_config, key_hashes=probe_hashes
+        ),
     )
 
 
 # ---------------------------------------------------------------------------
 # Joining the partition pairs with fine-grained SHJ steps
 # ---------------------------------------------------------------------------
+#: Per-tuple work quantities a merged step carries, in field order.
+_WORK_QUANTITIES = (
+    "instructions",
+    "random_accesses",
+    "sequential_bytes",
+    "global_atomics",
+    "local_atomics",
+)
+
+
+def _collapse_scalar(values: list[np.ndarray | float]) -> tuple[bool, float]:
+    """Whether all per-pair quantities are one shared scalar (and which).
+
+    NaN work values are collapsible too: NaN never compares equal to itself,
+    so the historical ``{float(v)}`` set membership silently broadcast
+    all-NaN scalars to full per-tuple arrays.
+    """
+    if any(isinstance(v, np.ndarray) for v in values):
+        return False, 0.0
+    first = float(values[0])
+    if all(float(v) == first for v in values[1:]):
+        return True, first
+    if np.isnan(first) and all(np.isnan(float(v)) for v in values[1:]):
+        return True, first
+    return False, 0.0
+
+
 def _concat_per_tuple(values: list[np.ndarray | float], lengths: list[int]) -> np.ndarray | float:
-    """Concatenate per-tuple work quantities of several partition pairs."""
-    if all(not isinstance(v, np.ndarray) for v in values):
-        unique = {float(v) for v in values}
-        if len(unique) == 1:
-            return unique.pop()
+    """Reference concatenation of per-tuple work quantities (list + copy)."""
+    collapsed, scalar = _collapse_scalar(values)
+    if collapsed:
+        return scalar
     arrays = [
         v if isinstance(v, np.ndarray) else np.full(n, float(v))
         for v, n in zip(values, lengths)
@@ -280,16 +412,85 @@ def _concat_per_tuple(values: list[np.ndarray | float], lengths: list[int]) -> n
     return np.concatenate(arrays) if arrays else np.empty(0, dtype=np.float64)
 
 
+class ConcatWorkspace:
+    """Grow-only columnar buffers backing :func:`concat_step_series`.
+
+    One float64 buffer per (step, quantity) slot, grown geometrically and
+    never shrunk — the same pattern as the batch engine's preallocated
+    ``out=`` workspaces.  A workspace hands out *views* of its buffers, so
+    it must only be shared by drivers that consume a merged series before
+    requesting the next one (each join run uses a private workspace by
+    default).
+    """
+
+    def __init__(self) -> None:
+        self._buffers: dict[tuple[str, int, int], np.ndarray] = {}
+
+    def buffer(self, phase: str, step_idx: int, quantity_idx: int, n: int) -> np.ndarray:
+        key = (phase, step_idx, quantity_idx)
+        buf = self._buffers.get(key)
+        if buf is None or buf.shape[0] < n:
+            grown = max(n, 2 * (buf.shape[0] if buf is not None else 0))
+            buf = np.empty(grown, dtype=np.float64)
+            self._buffers[key] = buf
+        return buf[:n]
+
+
+def _concat_columnar(
+    executions: list[StepExecution],
+    lengths: list[int],
+    total: int,
+    phase: str,
+    step_idx: int,
+    workspace: ConcatWorkspace | None,
+) -> PerTupleWork:
+    """Columnar merge of one step's per-tuple work across all pairs.
+
+    Each quantity is written once into a single preallocated column with an
+    allocation-free ``np.concatenate(..., out=)`` over the pairs' arrays and
+    zero-copy broadcast views of their scalars — instead of materialising a
+    temporary per pair and re-concatenating into a fresh output.  Values are
+    bit-identical to the reference path (plain float64 copies either way).
+    """
+    quantities: dict[str, np.ndarray | float] = {}
+    for q_idx, name in enumerate(_WORK_QUANTITIES):
+        values = [getattr(e.work, name) for e in executions]
+        collapsed, scalar = _collapse_scalar(values)
+        if collapsed:
+            quantities[name] = scalar
+            continue
+        if workspace is not None:
+            column = workspace.buffer(phase, step_idx, q_idx, total)
+        else:
+            column = np.empty(total, dtype=np.float64)
+        pieces = [
+            np.asarray(value, dtype=np.float64)
+            if isinstance(value, np.ndarray)
+            else np.broadcast_to(np.float64(value), n)
+            for value, n in zip(values, lengths)
+        ]
+        np.concatenate(pieces, out=column)
+        quantities[name] = column
+    return PerTupleWork(n_tuples=total, **quantities)
+
+
 def concat_step_series(
     series_list: list[StepSeries],
     phase: str,
     working_set: WorkingSet | None,
+    columnar: bool = True,
+    workspace: ConcatWorkspace | None = None,
 ) -> StepSeries:
     """Merge the same-phase step series of all partition pairs into one.
 
     The merged series processes the concatenation of all pairs' tuples; the
     per-step working set is overridden with the per-pair table size because
     that is what the probe's random accesses actually touch.
+
+    ``columnar`` selects the single-column fill kernel (optionally reusing a
+    grow-only :class:`ConcatWorkspace`); ``columnar=False`` keeps the
+    historical per-pair materialise-and-concatenate loop as the bit-matched
+    reference.
     """
     if not series_list:
         raise PartitionError("no step series to concatenate")
@@ -299,14 +500,17 @@ def concat_step_series(
         executions = [series[step_idx] for series in series_list]
         lengths = [e.n_tuples for e in executions]
         total = int(sum(lengths))
-        work = PerTupleWork(
-            n_tuples=total,
-            instructions=_concat_per_tuple([e.work.instructions for e in executions], lengths),
-            random_accesses=_concat_per_tuple([e.work.random_accesses for e in executions], lengths),
-            sequential_bytes=_concat_per_tuple([e.work.sequential_bytes for e in executions], lengths),
-            global_atomics=_concat_per_tuple([e.work.global_atomics for e in executions], lengths),
-            local_atomics=_concat_per_tuple([e.work.local_atomics for e in executions], lengths),
-        )
+        if columnar:
+            work = _concat_columnar(executions, lengths, total, phase, step_idx, workspace)
+        else:
+            work = PerTupleWork(
+                n_tuples=total,
+                instructions=_concat_per_tuple([e.work.instructions for e in executions], lengths),
+                random_accesses=_concat_per_tuple([e.work.random_accesses for e in executions], lengths),
+                sequential_bytes=_concat_per_tuple([e.work.sequential_bytes for e in executions], lengths),
+                global_atomics=_concat_per_tuple([e.work.global_atomics for e in executions], lengths),
+                local_atomics=_concat_per_tuple([e.work.local_atomics for e in executions], lengths),
+            )
         template = executions[0]
         conflict = {
             kind: max(e.conflict_ratio.get(kind, 0.0) for e in executions)
@@ -333,10 +537,20 @@ class PartitionedHashJoin:
         config: HashJoinConfig | None = None,
         partition_config: PartitionConfig | None = None,
         target_partition_tuples: int = 64_000,
+        use_kernels: bool = True,
+        concat_workspace: ConcatWorkspace | None = None,
     ) -> None:
+        """``use_kernels=False`` routes the partition phase and the per-pair
+        series merge through the scalar reference paths (the pre-kernel
+        per-pass loop and materialise-and-concatenate merge); the results
+        are bit-identical either way.  ``concat_workspace`` opts into a
+        shared grow-only buffer set for drivers that consume each run's
+        series before starting the next run."""
         self.config = config or HashJoinConfig()
         self.partition_config = partition_config
         self.target_partition_tuples = target_partition_tuples
+        self.use_kernels = use_kernels
+        self.concat_workspace = concat_workspace
 
     def _partition_config_for(self, build: Relation) -> PartitionConfig:
         if self.partition_config is not None:
@@ -350,18 +564,24 @@ class PartitionedHashJoin:
         )
 
         partition_phase = execute_partition_phase(
-            build, probe, partition_config, self.config, allocator
+            build, probe, partition_config, self.config, allocator,
+            fused=self.use_kernels,
         )
 
-        build_parts = partition_phase.build_partitions.partitions()
-        probe_parts = partition_phase.probe_partitions.partitions()
+        build_parts = partition_phase.build_partitions.partitions_with_hashes()
+        probe_parts = partition_phase.probe_partitions.partitions_with_hashes()
+        # The carried partition-phase hashes equal the bucket hashes only
+        # when both consumers share the murmur seed.
+        reuse_hashes = partition_config.hash_seed == self.config.hash_seed
 
         build_series_per_pair: list[StepSeries] = []
         probe_series_per_pair: list[StepSeries] = []
         results: list[JoinResult] = []
         max_table_bytes = 0
 
-        for build_part, probe_part in zip(build_parts, probe_parts):
+        for (build_part, build_hashes), (probe_part, probe_hashes) in zip(
+            build_parts, probe_parts
+        ):
             if len(build_part) == 0 and len(probe_part) == 0:
                 continue
             table = HashTable(
@@ -369,8 +589,22 @@ class PartitionedHashJoin:
                 allocator=allocator,
                 shared_between_devices=self.config.shared_hash_table,
             )
-            build_outcome = execute_build(build_part, table, self.config)
-            probe_outcome = execute_probe(probe_part, table, self.config)
+            build_buckets = (
+                bucket_of_hashed(build_hashes, table.n_buckets)
+                if reuse_hashes and build_hashes is not None
+                else None
+            )
+            probe_buckets = (
+                bucket_of_hashed(probe_hashes, table.n_buckets)
+                if reuse_hashes and probe_hashes is not None
+                else None
+            )
+            build_outcome = execute_build(
+                build_part, table, self.config, buckets=build_buckets
+            )
+            probe_outcome = execute_probe(
+                probe_part, table, self.config, buckets=probe_buckets
+            )
             build_series_per_pair.append(build_outcome.series)
             probe_series_per_pair.append(probe_outcome.series)
             results.append(probe_outcome.result)
@@ -380,8 +614,14 @@ class PartitionedHashJoin:
             bytes=float(max_table_bytes),
             shared_between_devices=self.config.shared_hash_table,
         )
-        build_series = concat_step_series(build_series_per_pair, "build", pair_ws)
-        probe_series = concat_step_series(probe_series_per_pair, "probe", pair_ws)
+        build_series = concat_step_series(
+            build_series_per_pair, "build", pair_ws,
+            columnar=self.use_kernels, workspace=self.concat_workspace,
+        )
+        probe_series = concat_step_series(
+            probe_series_per_pair, "probe", pair_ws,
+            columnar=self.use_kernels, workspace=self.concat_workspace,
+        )
 
         return PHJRun(
             partition_phase=partition_phase,

@@ -147,18 +147,27 @@ def execute_build(
     build: Relation,
     table: HashTable,
     config: HashJoinConfig | None = None,
+    buckets: np.ndarray | None = None,
 ) -> BuildOutcome:
-    """Run the build phase of SHJ on ``build`` into ``table``."""
+    """Run the build phase of SHJ on ``build`` into ``table``.
+
+    ``buckets`` optionally carries precomputed bucket numbers (the PHJ
+    driver derives them from the hash values the partition phase already
+    evaluated); they must equal ``bucket_of(build.keys, table.n_buckets,
+    seed=config.hash_seed)``.  The charged b1 work is unchanged — the step
+    still stands for the hash computation wherever its value was produced.
+    """
     config = config or HashJoinConfig()
     n = len(build)
     allocator = table.allocator
 
     # b1: compute hash bucket number for every tuple.
-    buckets = (
-        bucket_of(build.keys, table.n_buckets, seed=config.hash_seed)
-        if n
-        else np.empty(0, dtype=np.int64)
-    )
+    if buckets is None:
+        buckets = (
+            bucket_of(build.keys, table.n_buckets, seed=config.hash_seed)
+            if n
+            else np.empty(0, dtype=np.int64)
+        )
     b1 = StepExecution(
         step=BUILD_STEPS[0],
         work=PerTupleWork(
@@ -244,17 +253,23 @@ def execute_probe(
     probe: Relation,
     table: HashTable,
     config: HashJoinConfig | None = None,
+    buckets: np.ndarray | None = None,
 ) -> ProbeOutcome:
-    """Run the probe phase of SHJ with ``probe`` against ``table``."""
+    """Run the probe phase of SHJ with ``probe`` against ``table``.
+
+    ``buckets`` optionally carries precomputed bucket numbers, exactly as
+    in :func:`execute_build`.
+    """
     config = config or HashJoinConfig()
     n = len(probe)
     allocator = table.allocator
 
-    buckets = (
-        bucket_of(probe.keys, table.n_buckets, seed=config.hash_seed)
-        if n
-        else np.empty(0, dtype=np.int64)
-    )
+    if buckets is None:
+        buckets = (
+            bucket_of(probe.keys, table.n_buckets, seed=config.hash_seed)
+            if n
+            else np.empty(0, dtype=np.int64)
+        )
     p1 = StepExecution(
         step=PROBE_STEPS[0],
         work=PerTupleWork(

@@ -108,6 +108,12 @@ class PerTupleWork:
     Quantities may be scalars (uniform work, e.g. hash computation) or arrays
     of length ``n_tuples`` (workload-dependent work, e.g. key-list traversal
     lengths in ``b3``/``p3``).
+
+    The workload proxy and the full-range divergence are memoised after
+    their first use (executors, calibration and Monte Carlo studies evaluate
+    them once per ratio split); the quantities must therefore not be mutated
+    in place after the first stats call — build a new instance (or
+    ``dataclasses.replace``) instead, which starts with fresh caches.
     """
 
     n_tuples: int
@@ -120,18 +126,26 @@ class PerTupleWork:
     def __post_init__(self) -> None:
         if self.n_tuples < 0:
             raise ValueError("n_tuples must be non-negative")
+        self._proxy_cache: np.ndarray | None = None
+        self._divergence_cache: dict[tuple[int, bool], float] = {}
 
     # ------------------------------------------------------------------
+    def _full_proxy(self) -> np.ndarray:
+        """The whole series' workload proxy, computed once and reused."""
+        if self._proxy_cache is None:
+            proxy = _as_array(self.instructions, self.n_tuples).copy()
+            proxy += 10.0 * _as_array(self.random_accesses, self.n_tuples)
+            proxy += 5.0 * _as_array(self.global_atomics, self.n_tuples)
+            self._proxy_cache = proxy
+        return self._proxy_cache
+
     def workload_proxy(self, start: int = 0, stop: int | None = None) -> np.ndarray:
         """Scalar per-tuple execution-time proxy used for divergence."""
         stop = self.n_tuples if stop is None else stop
         n = max(stop - start, 0)
         if n == 0:
             return np.empty(0, dtype=np.float64)
-        proxy = _as_array(self.instructions, self.n_tuples)[start:stop].copy()
-        proxy += 10.0 * _as_array(self.random_accesses, self.n_tuples)[start:stop]
-        proxy += 5.0 * _as_array(self.global_atomics, self.n_tuples)[start:stop]
-        return proxy
+        return self._full_proxy()[start:stop].copy()
 
     def stats_for_range(
         self,
@@ -152,10 +166,19 @@ class PerTupleWork:
         n = max(stop - start, 0)
         if n == 0:
             return WorkStats()
-        proxy = self.workload_proxy(start, stop)
-        if grouped:
-            proxy = np.sort(proxy)
-        divergence = wavefront_divergence(proxy, width=wavefront_width).divergence
+        # Full-range divergence recurs across calibration, single-device
+        # baselines and repeated Monte Carlo splits; memoise it per
+        # (wavefront width, grouped) pair.
+        full_range = start == 0 and stop == self.n_tuples
+        cache_key = (wavefront_width, grouped)
+        divergence = self._divergence_cache.get(cache_key) if full_range else None
+        if divergence is None:
+            proxy = self.workload_proxy(start, stop)
+            if grouped:
+                proxy = np.sort(proxy)
+            divergence = wavefront_divergence(proxy, width=wavefront_width).divergence
+            if full_range:
+                self._divergence_cache[cache_key] = divergence
         return WorkStats(
             tuples=n,
             instructions=_range_sum(self.instructions, start, stop),
@@ -181,13 +204,14 @@ class PerTupleWork:
     def average_profile(self) -> WorkProfile:
         """Per-tuple averages (what profiling tools report in the paper)."""
         n = max(self.n_tuples, 1)
+        stats = self.total_stats()
         return WorkProfile(
-            instructions_per_tuple=_range_sum(self.instructions, 0, self.n_tuples) / n,
-            sequential_bytes_per_tuple=_range_sum(self.sequential_bytes, 0, self.n_tuples) / n,
-            random_accesses_per_tuple=_range_sum(self.random_accesses, 0, self.n_tuples) / n,
-            global_atomics_per_tuple=_range_sum(self.global_atomics, 0, self.n_tuples) / n,
-            local_atomics_per_tuple=_range_sum(self.local_atomics, 0, self.n_tuples) / n,
-            divergence=self.total_stats().divergence,
+            instructions_per_tuple=stats.instructions / n,
+            sequential_bytes_per_tuple=stats.sequential_bytes / n,
+            random_accesses_per_tuple=stats.random_accesses / n,
+            global_atomics_per_tuple=stats.global_atomics / n,
+            local_atomics_per_tuple=stats.local_atomics / n,
+            divergence=stats.divergence,
         )
 
 

@@ -54,6 +54,7 @@ from ..costmodel.optimizer import (
     optimize_pl,
     optimize_scheme,
     pl_descent_plan,
+    validate_speculation,
 )
 from .api import WHAT_IF, PlanRequest, PlanResponse, WorkloadError
 
@@ -103,6 +104,7 @@ class PlanService:
         cache: EstimateCache | None = None,
         mixed: bool = True,
         batch_former: BatchFormer | None = None,
+        speculation: str = "full",
     ) -> None:
         self.cache = cache if cache is not None else shared_estimate_cache()
         self.mixed = mixed
@@ -113,6 +115,14 @@ class PlanService:
         #: :func:`dedup_tasks`; any replacement must keep answers
         #: bit-identical (it may only change *which* requests share work).
         self.batch_former: BatchFormer = batch_former or dedup_tasks
+        #: PL descent speculation mode handed to every descent plan:
+        #: "full" emits whole rounds (fewest engine calls), "adaptive"
+        #: emits round 1 per-coordinate (fewest evaluated rows on
+        #: accept-heavy descents).  Answers are bit-identical either way.
+        #: Validated here so a misconfigured service fails at construction,
+        #: not on its first PL request.
+        validate_speculation(speculation)
+        self.speculation = speculation
         self._lock = threading.Lock()
         self.requests_served = 0
         self.tasks_solved = 0
@@ -202,7 +212,9 @@ class PlanService:
             if matrix is not None and matrix.size:
                 grid_tasks.append((key, task, matrix))
             elif task.scheme == "PL":
-                plan = pl_descent_plan(list(task.steps), task.delta)
+                plan = pl_descent_plan(
+                    list(task.steps), task.delta, speculation=self.speculation
+                )
                 first_matrix = next(plan)
                 plans[key] = plan
                 pending[key] = first_matrix
