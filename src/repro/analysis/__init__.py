@@ -1,0 +1,53 @@
+"""``repro lint``: AST-based invariant analysis for the repro codebase.
+
+Five codebase-specific checkers guard the conventions the kernels and the
+serving tier rely on (see ``docs/static-analysis.md``):
+
+========================  ==================================================
+``lock-discipline``       lock-guarded attributes only touched under the lock
+``kernel-parity``         every reference toggle has an explicit parity test
+``numpy-hygiene``         ``# repro: kernel`` modules stay vectorized/narrow
+``async-blocking``        no blocking calls inside ``async def`` bodies
+``wire-precision``        floats cross ``protocol.py`` bit-exact, unrounded
+========================  ==================================================
+
+Importing this package registers all checkers; :mod:`repro.analysis.runner`
+drives them and the ``repro lint`` CLI subcommand renders the result.
+"""
+
+from __future__ import annotations
+
+from .core import Checker, Finding, Project, SourceFile, all_checkers, get_checker
+
+# Importing the checker modules registers them (order = report order).
+from . import lock_discipline as _lock_discipline  # noqa: F401
+from . import kernel_parity as _kernel_parity  # noqa: F401
+from . import numpy_hygiene as _numpy_hygiene  # noqa: F401
+from . import async_blocking as _async_blocking  # noqa: F401
+from . import wire_precision as _wire_precision  # noqa: F401
+
+from .runner import (
+    LintConfigError,
+    LintResult,
+    load_allowlist,
+    load_project,
+    render_json,
+    render_text,
+    run_lint,
+)
+
+__all__ = [
+    "Checker",
+    "Finding",
+    "LintConfigError",
+    "LintResult",
+    "Project",
+    "SourceFile",
+    "all_checkers",
+    "get_checker",
+    "load_allowlist",
+    "load_project",
+    "render_json",
+    "render_text",
+    "run_lint",
+]

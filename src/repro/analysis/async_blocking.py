@@ -1,0 +1,122 @@
+"""Async-blocking checker for the asyncio serving tier.
+
+``service/server.py`` and ``service/scheduler.py`` run a single event loop;
+one synchronous sleep or blocking read inside an ``async def`` stalls every
+in-flight request — micro-batching amplifies the damage because a stalled
+scheduler tick delays whole batches, not single queries.  These bugs are
+invisible under light test load and brutal in production, which makes them
+a textbook static-analysis target.
+
+Flags, inside any ``async def`` body (nested synchronous ``def``s reset the
+context — they may be shipped to a thread pool):
+
+* ``time.sleep(...)`` — use ``await asyncio.sleep(...)``.
+* ``socket.socket``/``socket.create_connection`` and friends — use asyncio
+  streams.
+* ``open(...)``/``pathlib .read_text/.write_text/.read_bytes/.write_bytes``
+  — do file IO before entering the loop or via a thread executor.
+* ``subprocess.run``/``subprocess.Popen``/``os.system``/``subprocess
+  .check_*`` — use ``asyncio.create_subprocess_exec``.
+* ``requests.get/post/...`` and ``urllib.request.urlopen`` — blocking HTTP.
+
+The checker is scope-aware, not merely textual: the same calls in ordinary
+synchronous helpers of the same module are fine.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .core import Checker, Finding, SourceFile, dotted_name, register
+
+__all__ = ["AsyncBlockingChecker"]
+
+#: Fully-dotted call names that block the event loop.
+_BLOCKING_CALLS = {
+    "time.sleep": "use `await asyncio.sleep(...)`",
+    "socket.socket": "use asyncio streams (`asyncio.open_connection`)",
+    "socket.create_connection": "use `asyncio.open_connection`",
+    "socket.getaddrinfo": "use `loop.getaddrinfo`",
+    "subprocess.run": "use `asyncio.create_subprocess_exec`",
+    "subprocess.call": "use `asyncio.create_subprocess_exec`",
+    "subprocess.check_call": "use `asyncio.create_subprocess_exec`",
+    "subprocess.check_output": "use `asyncio.create_subprocess_exec`",
+    "subprocess.Popen": "use `asyncio.create_subprocess_exec`",
+    "os.system": "use `asyncio.create_subprocess_shell`",
+    "urllib.request.urlopen": "use an async HTTP client or a thread executor",
+    "requests.get": "blocking HTTP stalls the loop; use a thread executor",
+    "requests.post": "blocking HTTP stalls the loop; use a thread executor",
+    "requests.request": "blocking HTTP stalls the loop; use a thread executor",
+}
+#: Bare-name calls that block.
+_BLOCKING_NAMES = {
+    "open": "do file IO outside the loop or via `loop.run_in_executor`",
+    "input": "blocking terminal read inside the event loop",
+}
+#: Method names that block regardless of receiver (futures/threads/files).
+_BLOCKING_METHODS = {
+    "read_text": "pathlib IO blocks the loop; move it off the async path",
+    "write_text": "pathlib IO blocks the loop; move it off the async path",
+    "read_bytes": "pathlib IO blocks the loop; move it off the async path",
+    "write_bytes": "pathlib IO blocks the loop; move it off the async path",
+}
+
+
+@register
+class AsyncBlockingChecker(Checker):
+    id = "async-blocking"
+    description = (
+        "no blocking calls (time.sleep, sync sockets/file IO, subprocess) "
+        "inside async def bodies of the serving tier"
+    )
+    severity = "error"
+
+    def check_file(self, source: SourceFile) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.AsyncFunctionDef):
+                self._scan_async(source, node, findings)
+        return findings
+
+    # ------------------------------------------------------------------
+    def _scan_async(
+        self,
+        source: SourceFile,
+        fn: ast.AsyncFunctionDef,
+        findings: list[Finding],
+    ) -> None:
+        stack: list[ast.AST] = list(ast.iter_child_nodes(fn))
+        while stack:
+            node = stack.pop()
+            # A nested *sync* def is its own world (may run in an executor);
+            # a nested async def is scanned when ast.walk reaches it.
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if isinstance(node, ast.Call):
+                hit = self._classify(node)
+                if hit is not None:
+                    label, advice = hit
+                    findings.append(
+                        self.finding(
+                            source,
+                            node,
+                            f"blocking call `{label}` inside `async def "
+                            f"{fn.name}`; {advice}",
+                            key_context=f"{fn.name}.{label}",
+                        )
+                    )
+            stack.extend(ast.iter_child_nodes(node))
+
+    @staticmethod
+    def _classify(call: ast.Call) -> tuple[str, str] | None:
+        name = dotted_name(call.func)
+        if name is not None:
+            if name in _BLOCKING_CALLS:
+                return name, _BLOCKING_CALLS[name]
+            if name in _BLOCKING_NAMES:
+                return name, _BLOCKING_NAMES[name]
+        if isinstance(call.func, ast.Attribute):
+            attr = call.func.attr
+            if attr in _BLOCKING_METHODS:
+                return f".{attr}", _BLOCKING_METHODS[attr]
+        return None

@@ -1,0 +1,381 @@
+"""NumPy hygiene checker for modules marked ``# repro: kernel``.
+
+The kernels (``costmodel/batch.py``, ``hashjoin/*``) earned their speedups
+by keeping work inside NumPy: no Python-level iteration over arrays, no
+fresh allocations inside hot loops when a workspace exists, no accidental
+float64 upcasts of 32-bit columns.  Each of those regressions is easy to
+introduce in review-sized diffs — a convenience ``for row in matrix:``, a
+``np.concatenate`` inside a per-partition loop — and none of them break
+tests, only throughput.  This checker flags them in any module that opts in
+with a module-level ``# repro: kernel`` comment.
+
+Rules (all per-function, using a simple intra-function taint pass that marks
+names assigned from ``np.*`` calls, array methods like ``.astype``/``.copy``,
+or subscripts of tainted names as *arrays*):
+
+* ``loop-over-array`` — a ``for`` statement iterating a tainted name (or a
+  ``zip``/``enumerate``/``reversed`` of one).  ``range(...)`` never taints,
+  and ``.tolist()`` deliberately *untaints* — converting to a list first is
+  exactly how the scalar reference paths are supposed to iterate.
+* ``alloc-in-loop`` — an allocating ``np.*`` call (``empty``/``zeros``/
+  ``ones``/``full``/``concatenate``/``arange``/``copy``) inside a
+  ``for``/``while`` body with no ``out=`` argument.  Amortised growth and
+  fallback allocations are legitimate — suppress those call sites with an
+  inline ``# repro: ignore[numpy-hygiene]`` explaining why.
+* ``dtype-widening`` — an arithmetic binop mixing a name known to hold a
+  32-bit array (from ``dtype=np.int32``/``astype(np.float32)``-style
+  evidence in the same function) with a float literal or an ``np.float64``
+  value: NumPy silently widens the result to 64 bits, doubling kernel
+  bandwidth.
+
+Functions marked ``# repro: reference`` (the deliberately scalar twins that
+the kernel-parity contract exists to preserve) are exempt from all three
+rules — a reference implementation looping over ``.tolist()`` rows is
+working as intended.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .core import Checker, Finding, SourceFile, dotted_name, register
+
+__all__ = ["NumpyHygieneChecker"]
+
+#: np.* callables that allocate a fresh array.
+_ALLOCATORS = {
+    "empty",
+    "zeros",
+    "ones",
+    "full",
+    "concatenate",
+    "arange",
+    "copy",
+    "empty_like",
+    "zeros_like",
+    "ones_like",
+    "full_like",
+}
+#: Array methods whose result is still an array (taint-preserving).
+_ARRAY_METHODS = {
+    "astype",
+    "copy",
+    "reshape",
+    "ravel",
+    "view",
+    "take",
+    "repeat",
+    "cumsum",
+    "clip",
+    "round",
+    "searchsorted",
+}
+#: Call results that are definitely *not* arrays (taint-clearing).
+_SCALARIZERS = {"tolist", "item", "int", "float", "len", "bool", "str", "sum", "min", "max"}
+#: dtype spellings that mark a 32-bit (or narrower) array.
+_NARROW_DTYPES = {
+    "np.int32",
+    "np.uint32",
+    "np.float32",
+    "np.int16",
+    "np.uint16",
+    "np.int8",
+    "np.uint8",
+    "numpy.int32",
+    "numpy.uint32",
+    "numpy.float32",
+}
+_WIDE_NAMES = {"np.float64", "numpy.float64", "np.int64", "numpy.int64"}
+
+
+def _is_np_call(call: ast.Call) -> str | None:
+    """The np function name for ``np.foo(...)``/``numpy.foo(...)``, else None."""
+    name = dotted_name(call.func)
+    if name is None:
+        return None
+    parts = name.split(".")
+    if len(parts) >= 2 and parts[0] in {"np", "numpy"}:
+        return parts[-1]
+    return None
+
+
+def _dtype_width(node: ast.expr | None) -> str | None:
+    """'narrow'/'wide' for a dtype expression, else None."""
+    if node is None:
+        return None
+    name = dotted_name(node)
+    if name in _NARROW_DTYPES:
+        return "narrow"
+    if name in _WIDE_NAMES:
+        return "wide"
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        if node.value in {"int32", "uint32", "float32", "int16", "uint16"}:
+            return "narrow"
+        if node.value in {"float64", "int64"}:
+            return "wide"
+    return None
+
+
+class _FunctionState:
+    """Taint + dtype facts for one function body."""
+
+    def __init__(self) -> None:
+        self.arrays: set[str] = set()
+        self.narrow: set[str] = set()
+
+    # -- classification -------------------------------------------------
+    def value_is_array(self, node: ast.expr) -> bool:
+        if isinstance(node, ast.Name):
+            return node.id in self.arrays
+        if isinstance(node, ast.Subscript):
+            return self.value_is_array(node.value)
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                if func.attr in _SCALARIZERS:
+                    return False
+                if func.attr in _ARRAY_METHODS:
+                    return self.value_is_array(func.value)
+            np_name = _is_np_call(node)
+            if np_name is not None and np_name not in {
+                "float64",
+                "float32",
+                "int64",
+                "int32",
+                "uint64",
+                "isscalar",
+            }:
+                return True
+            if isinstance(func, ast.Name) and func.id in _SCALARIZERS:
+                return False
+        if isinstance(node, ast.BinOp):
+            return self.value_is_array(node.left) or self.value_is_array(node.right)
+        if isinstance(node, ast.IfExp):
+            return self.value_is_array(node.body) or self.value_is_array(node.orelse)
+        return False
+
+    def value_is_narrow(self, node: ast.expr) -> bool:
+        if isinstance(node, ast.Name):
+            return node.id in self.narrow
+        if isinstance(node, ast.Subscript):
+            return self.value_is_narrow(node.value)
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr == "astype":
+                return any(
+                    _dtype_width(arg) == "narrow" for arg in node.args
+                ) or any(
+                    kw.arg == "dtype" and _dtype_width(kw.value) == "narrow"
+                    for kw in node.keywords
+                )
+            if _is_np_call(node) in _ALLOCATORS:
+                for kw in node.keywords:
+                    if kw.arg == "dtype":
+                        return _dtype_width(kw.value) == "narrow"
+        return False
+
+    # -- learning -------------------------------------------------------
+    def learn_assign(self, target: ast.expr, value: ast.expr) -> None:
+        if not isinstance(target, ast.Name):
+            return
+        name = target.id
+        if self.value_is_array(value):
+            self.arrays.add(name)
+            if self.value_is_narrow(value):
+                self.narrow.add(name)
+            else:
+                self.narrow.discard(name)
+        else:
+            self.arrays.discard(name)
+            self.narrow.discard(name)
+
+
+def _widening_operand(state: _FunctionState, node: ast.expr) -> bool:
+    """Whether this binop operand forces a float64 upcast of a narrow array."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return True
+    name = dotted_name(node)
+    if name in _WIDE_NAMES:
+        return True
+    if isinstance(node, ast.Call) and dotted_name(node.func) in _WIDE_NAMES:
+        return True
+    return False
+
+
+@register
+class NumpyHygieneChecker(Checker):
+    id = "numpy-hygiene"
+    description = (
+        "modules marked `# repro: kernel` must not loop Python-side over "
+        "arrays, allocate inside hot loops without out=/workspace, or mix "
+        "32-bit arrays with widening literals"
+    )
+    severity = "error"
+
+    def check_file(self, source: SourceFile) -> list[Finding]:
+        if not source.is_kernel:
+            return []
+        findings: list[Finding] = []
+        for node in ast.walk(source.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if source.is_reference(node):
+                    continue
+                findings.extend(self._check_function(source, node))
+        return findings
+
+    # ------------------------------------------------------------------
+    def _check_function(
+        self,
+        source: SourceFile,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> list[Finding]:
+        state = _FunctionState()
+        findings: list[Finding] = []
+        self._walk(source, fn.name, fn.body, state, loop_depth=0, out=findings)
+        return findings
+
+    def _walk(
+        self,
+        source: SourceFile,
+        fn_name: str,
+        body: list[ast.stmt],
+        state: _FunctionState,
+        loop_depth: int,
+        out: list[Finding],
+    ) -> None:
+        for stmt in body:
+            # Nested defs get their own _check_function pass via ast.walk.
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            if isinstance(stmt, ast.Assign):
+                self._scan_exprs(source, fn_name, stmt.value, state, loop_depth, out)
+                for target in stmt.targets:
+                    state.learn_assign(target, stmt.value)
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                self._scan_exprs(source, fn_name, stmt.value, state, loop_depth, out)
+                state.learn_assign(stmt.target, stmt.value)
+            elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+                self._check_loop_iter(source, fn_name, stmt, state, out)
+                self._scan_exprs(source, fn_name, stmt.iter, state, loop_depth, out)
+                self._walk(source, fn_name, stmt.body, state, loop_depth + 1, out)
+                self._walk(source, fn_name, stmt.orelse, state, loop_depth, out)
+            elif isinstance(stmt, ast.While):
+                self._scan_exprs(source, fn_name, stmt.test, state, loop_depth, out)
+                self._walk(source, fn_name, stmt.body, state, loop_depth + 1, out)
+                self._walk(source, fn_name, stmt.orelse, state, loop_depth, out)
+            elif isinstance(stmt, (ast.If,)):
+                self._scan_exprs(source, fn_name, stmt.test, state, loop_depth, out)
+                self._walk(source, fn_name, stmt.body, state, loop_depth, out)
+                self._walk(source, fn_name, stmt.orelse, state, loop_depth, out)
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                for item in stmt.items:
+                    self._scan_exprs(
+                        source, fn_name, item.context_expr, state, loop_depth, out
+                    )
+                self._walk(source, fn_name, stmt.body, state, loop_depth, out)
+            elif isinstance(stmt, ast.Try):
+                self._walk(source, fn_name, stmt.body, state, loop_depth, out)
+                for handler in stmt.handlers:
+                    self._walk(source, fn_name, handler.body, state, loop_depth, out)
+                self._walk(source, fn_name, stmt.orelse, state, loop_depth, out)
+                self._walk(source, fn_name, stmt.finalbody, state, loop_depth, out)
+            else:
+                for child in ast.iter_child_nodes(stmt):
+                    if isinstance(child, ast.expr):
+                        self._scan_exprs(
+                            source, fn_name, child, state, loop_depth, out
+                        )
+
+    # ------------------------------------------------------------------
+    def _check_loop_iter(
+        self,
+        source: SourceFile,
+        fn_name: str,
+        stmt: ast.For | ast.AsyncFor,
+        state: _FunctionState,
+        out: list[Finding],
+    ) -> None:
+        iter_expr = stmt.iter
+        looped: ast.expr | None = None
+        if isinstance(iter_expr, ast.Call):
+            callee = iter_expr.func
+            if isinstance(callee, ast.Name) and callee.id in {
+                "zip",
+                "enumerate",
+                "reversed",
+            }:
+                for arg in iter_expr.args:
+                    if state.value_is_array(arg):
+                        looped = arg
+                        break
+        elif state.value_is_array(iter_expr):
+            looped = iter_expr
+        if looped is None:
+            return
+        label = dotted_name(looped) or (
+            looped.id if isinstance(looped, ast.Name) else "array expression"
+        )
+        out.append(
+            self.finding(
+                source,
+                stmt,
+                f"Python-level `for` loop over array `{label}` in kernel "
+                f"function `{fn_name}`; vectorise, or `.tolist()` first if "
+                "this is deliberate scalar code (or mark the function "
+                "`# repro: reference`)",
+                key_context=f"{fn_name}.loop-over-array.{label}",
+            )
+        )
+
+    def _scan_exprs(
+        self,
+        source: SourceFile,
+        fn_name: str,
+        expr: ast.expr,
+        state: _FunctionState,
+        loop_depth: int,
+        out: list[Finding],
+    ) -> None:
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Call):
+                np_name = _is_np_call(node)
+                if (
+                    np_name in _ALLOCATORS
+                    and loop_depth > 0
+                    and not any(kw.arg == "out" for kw in node.keywords)
+                ):
+                    out.append(
+                        self.finding(
+                            source,
+                            node,
+                            f"`np.{np_name}` allocates inside a loop in "
+                            f"kernel function `{fn_name}` without `out=`; "
+                            "hoist the allocation or reuse a workspace "
+                            "buffer",
+                            key_context=f"{fn_name}.alloc-in-loop.{np_name}",
+                        )
+                    )
+            elif isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.Add, ast.Sub, ast.Mult, ast.Div, ast.Pow)
+            ):
+                pairs = (
+                    (node.left, node.right),
+                    (node.right, node.left),
+                )
+                for array_side, other in pairs:
+                    if state.value_is_narrow(array_side) and _widening_operand(
+                        state, other
+                    ):
+                        label = dotted_name(array_side) or "array"
+                        out.append(
+                            self.finding(
+                                source,
+                                node,
+                                f"arithmetic on 32-bit array `{label}` with "
+                                "a float64-widening operand in kernel "
+                                f"function `{fn_name}`; cast the scalar to "
+                                "the array dtype to keep the narrow width",
+                                key_context=f"{fn_name}.dtype-widening.{label}",
+                            )
+                        )
+                        break

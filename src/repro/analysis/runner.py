@@ -1,0 +1,231 @@
+"""File collection, checker orchestration and rendering for ``repro lint``.
+
+The runner is what the CLI subcommand (and the CI ``lint-gate`` job) drive:
+
+* :func:`load_project` walks ``src/`` and ``tests/`` for Python modules and
+  parses them into a :class:`~repro.analysis.core.Project`.  A module that
+  fails to parse is a *config* error (:class:`LintConfigError` → exit 2),
+  not a finding — the linter refuses to pretend it analysed a file it could
+  not read.  ``tests/analysis_fixtures/`` is excluded: those files contain
+  deliberately seeded violations for the checker tests.
+* :func:`run_lint` runs the selected checkers (per-file passes over ``src``
+  modules, cross-file passes over the whole project) and splits raw
+  findings into *active*, *suppressed* (inline ``# repro: ignore[...]``)
+  and *allowlisted* (stable keys listed in an allowlist file, the
+  grandfathering mechanism that lets the CI gate be tightened
+  incrementally).
+* :func:`render_text` / :func:`render_json` produce the two output formats.
+
+Allowlist format: one finding key per line (``checker:path:symbol``),
+``#`` comments and blank lines ignored.  Keys are symbol-based — they
+survive unrelated edits that shift line numbers.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .core import Checker, Finding, Project, SourceFile, all_checkers, get_checker
+
+__all__ = [
+    "LintConfigError",
+    "LintResult",
+    "load_allowlist",
+    "load_project",
+    "render_json",
+    "render_text",
+    "run_lint",
+]
+
+#: Directory names never collected.
+_EXCLUDED_DIRS = {"__pycache__", "analysis_fixtures", ".git"}
+
+
+class LintConfigError(Exception):
+    """Bad lint configuration (missing paths, unparseable files, unknown
+    checkers, unreadable allowlist) — maps to exit code 2, like the config
+    errors of ``repro plan``."""
+
+
+@dataclass
+class LintResult:
+    """The outcome of one lint run, split by disposition."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    allowlisted: list[Finding] = field(default_factory=list)
+    checkers: list[str] = field(default_factory=list)
+    files_scanned: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+
+def _collect_files(root: Path) -> list[Path]:
+    if not root.is_dir():
+        return []
+    out = []
+    for path in sorted(root.rglob("*.py")):
+        if any(part in _EXCLUDED_DIRS or part.startswith(".") for part in path.parts):
+            continue
+        out.append(path)
+    return out
+
+
+def _parse(path: Path, rel_root: Path) -> SourceFile:
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise LintConfigError(f"cannot read {path}: {exc}") from exc
+    rel = path.relative_to(rel_root).as_posix()
+    try:
+        return SourceFile(path=path, rel=rel, text=text)
+    except SyntaxError as exc:
+        raise LintConfigError(
+            f"cannot parse {rel}: {exc.msg} (line {exc.lineno})"
+        ) from exc
+
+
+def load_project(
+    root: Path,
+    src: str | Path = "src",
+    tests: str | Path = "tests",
+) -> Project:
+    """Parse the repo's ``src`` and ``tests`` trees into a Project.
+
+    Paths are resolved against ``root`` unless absolute.  A missing ``src``
+    tree is a config error; a missing ``tests`` tree only disables the
+    cross-file passes' coverage scan (the kernel-parity checker will then
+    report every contract, which is the correct answer for a repo with no
+    tests).
+    """
+    root = Path(root)
+    src_root = Path(src) if Path(src).is_absolute() else root / src
+    tests_root = Path(tests) if Path(tests).is_absolute() else root / tests
+    src_paths = _collect_files(src_root)
+    if not src_paths:
+        raise LintConfigError(f"no Python files found under {src_root}")
+    project = Project()
+    for path in src_paths:
+        project.src_files.append(_parse(path, root))
+    for path in _collect_files(tests_root):
+        project.test_files.append(_parse(path, root))
+    return project
+
+
+def _resolve_checkers(checker_ids: Sequence[str] | None) -> list[Checker]:
+    registry = all_checkers()
+    if not checker_ids:
+        return list(registry.values())
+    selected = []
+    for checker_id in checker_ids:
+        try:
+            selected.append(get_checker(checker_id))
+        except KeyError as exc:
+            raise LintConfigError(str(exc.args[0])) from None
+    return selected
+
+
+def load_allowlist(path: Path) -> set[str]:
+    """Read an allowlist file of one stable finding key per line."""
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError as exc:
+        raise LintConfigError(f"cannot read allowlist {path}: {exc}") from exc
+    keys = set()
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if line:
+            keys.add(line)
+    return keys
+
+
+def run_lint(
+    project: Project,
+    checker_ids: Sequence[str] | None = None,
+    allowlist: Iterable[str] = (),
+) -> LintResult:
+    """Run checkers over a project and triage the findings."""
+    checkers = _resolve_checkers(checker_ids)
+    by_rel = {source.rel: source for source in project.all_files()}
+    raw: list[Finding] = []
+    for checker in checkers:
+        for source in project.src_files:
+            raw.extend(checker.check_file(source))
+        raw.extend(checker.check_project(project))
+
+    result = LintResult(
+        checkers=[c.id for c in checkers],
+        files_scanned=len(by_rel),
+    )
+    allowed = set(allowlist)
+    seen: set[tuple[str, int, int, str, str]] = set()
+    for finding in sorted(
+        raw, key=lambda f: (f.path, f.line, f.col, f.checker, f.message)
+    ):
+        dedupe = (finding.path, finding.line, finding.col, finding.checker, finding.message)
+        if dedupe in seen:
+            continue
+        seen.add(dedupe)
+        source = by_rel.get(finding.path)
+        if source is not None and source.is_suppressed(finding):
+            result.suppressed.append(finding)
+        elif finding.key in allowed:
+            result.allowlisted.append(finding)
+        else:
+            result.findings.append(finding)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Rendering.
+# ---------------------------------------------------------------------------
+def render_text(result: LintResult, show_suppressed: bool = False) -> str:
+    lines: list[str] = []
+    for finding in result.findings:
+        lines.append(
+            f"{finding.location()}: {finding.severity}[{finding.checker}] "
+            f"{finding.message}"
+        )
+    if show_suppressed:
+        for finding in result.suppressed:
+            lines.append(
+                f"{finding.location()}: suppressed[{finding.checker}] "
+                f"{finding.message}"
+            )
+        for finding in result.allowlisted:
+            lines.append(
+                f"{finding.location()}: allowlisted[{finding.checker}] "
+                f"{finding.message}"
+            )
+    tail = (
+        f"{len(result.findings)} finding(s), "
+        f"{len(result.suppressed)} suppressed, "
+        f"{len(result.allowlisted)} allowlisted "
+        f"({result.files_scanned} files, "
+        f"{len(result.checkers)} checkers: {', '.join(result.checkers)})"
+    )
+    if result.clean:
+        lines.append(f"repro lint: clean — {tail}")
+    else:
+        lines.append(f"repro lint: FAILED — {tail}")
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult, show_suppressed: bool = False) -> str:
+    payload: dict[str, object] = {
+        "status": "clean" if result.clean else "findings",
+        "findings": [f.to_dict() for f in result.findings],
+        "suppressed_count": len(result.suppressed),
+        "allowlisted_count": len(result.allowlisted),
+        "files_scanned": result.files_scanned,
+        "checkers": result.checkers,
+    }
+    if show_suppressed:
+        payload["suppressed"] = [f.to_dict() for f in result.suppressed]
+        payload["allowlisted"] = [f.to_dict() for f in result.allowlisted]
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,205 @@
+"""Wire-precision checker for the service protocol layer.
+
+The protocol's contract (``service/protocol.py``) is that floats cross the
+wire **bit-exact**: ``json`` serialises Python floats via ``repr`` and
+parses them back to the identical IEEE-754 value, so the client's
+``PlanResult`` estimate equals the server's to the last ulp — which is what
+lets the protocol tests compare with ``==`` instead of tolerances, and what
+keeps the service's answers interchangeable with in-process calls.
+
+That contract dies quietly the moment someone "tidies up" a wire value with
+``round(x, 6)``, ``"%.6f" % x``, an ``f"{x:.4g}"``, or routes a float field
+through ``str()`` before packing it.  (``PlanResponse.to_dict`` *does*
+round — deliberately, for CLI display — which is exactly why the distinction
+needs a checker rather than a grep.)
+
+Scope: every function in a module named ``protocol.py``, plus any function
+anywhere whose name marks it as wire-serialisation (``*_to_wire``,
+``to_wire``, ``envelope``, ``to_json``, ``to_bytes``).  Inside that scope
+the checker flags:
+
+* ``round(...)`` calls — rounding is display logic, not wire logic;
+* ``%``-formatting or ``str.format``/f-strings with a float precision spec
+  applied to values (``%f``/``%g``/``%e`` or ``:.Nf``-style specs);
+* ``str(x)`` where ``x`` is a recognised float field (``*_s`` timings,
+  ``ratios``, ``total_s``, ``intermediate_bytes``, ``delta``...) — JSON
+  should carry the float itself, not a string of it.
+
+The full-precision idiom the codebase uses — a bare ``float(x)`` cast and
+letting ``json`` do the repr — is untouched.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from .core import Checker, Finding, SourceFile, register
+
+__all__ = ["WirePrecisionChecker"]
+
+#: Function names treated as wire-serialisation scope in any module.
+_WIRE_NAME_RE = re.compile(r"(^|_)to_wire$|^envelope$|^to_json$|^to_bytes$")
+#: ``%``-format specs that truncate float precision.
+_PERCENT_FLOAT_RE = re.compile(r"%[-+ #0-9.]*[efgEFG]")
+#: ``str.format``/f-string specs that truncate float precision.
+_SPEC_FLOAT_RE = re.compile(r"\.\d+[efgEFG%]?$|[efgEFG%]$")
+#: Attribute / name suffixes recognised as float wire fields.
+_FLOAT_FIELDS = {
+    "ratios",
+    "total_s",
+    "cpu_total_s",
+    "gpu_total_s",
+    "intermediate_bytes",
+    "delta",
+    "queued_s",
+    "timeout_s",
+}
+
+
+def _is_wire_module(source: SourceFile) -> bool:
+    return source.rel.rsplit("/", 1)[-1] == "protocol.py"
+
+
+def _is_wire_function(name: str) -> bool:
+    return bool(_WIRE_NAME_RE.search(name))
+
+
+def _float_field_name(node: ast.expr) -> str | None:
+    """The field name when an expression reads a known float wire field."""
+    if isinstance(node, ast.Subscript):
+        return _float_field_name(node.value)
+    name: str | None = None
+    if isinstance(node, ast.Attribute):
+        name = node.attr
+    elif isinstance(node, ast.Name):
+        name = node.id
+    if name is None:
+        return None
+    if name in _FLOAT_FIELDS or name.endswith("_s"):
+        return name
+    return None
+
+
+@register
+class WirePrecisionChecker(Checker):
+    id = "wire-precision"
+    description = (
+        "wire-serialisation code (protocol.py, *_to_wire/envelope/to_json "
+        "functions) must not round, %-format, or str() float fields — "
+        "floats cross the wire bit-exact via json repr"
+    )
+    severity = "error"
+
+    def check_file(self, source: SourceFile) -> list[Finding]:
+        module_scoped = _is_wire_module(source)
+        findings: list[Finding] = []
+        for node in ast.walk(source.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if module_scoped or _is_wire_function(node.name):
+                    self._scan_function(source, node, findings)
+        return findings
+
+    # ------------------------------------------------------------------
+    def _scan_function(
+        self,
+        source: SourceFile,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+        findings: list[Finding],
+    ) -> None:
+        stack: list[ast.AST] = list(ast.iter_child_nodes(fn))
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue  # nested defs are scoped on their own names
+            self._scan_node(source, fn.name, node, findings)
+            stack.extend(ast.iter_child_nodes(node))
+
+    def _scan_node(
+        self,
+        source: SourceFile,
+        fn_name: str,
+        node: ast.AST,
+        findings: list[Finding],
+    ) -> None:
+        if isinstance(node, ast.Call):
+            if isinstance(node.func, ast.Name) and node.func.id == "round":
+                findings.append(
+                    self.finding(
+                        source,
+                        node,
+                        f"`round(...)` in wire function `{fn_name}` truncates "
+                        "float precision; send the raw float — json repr "
+                        "round-trips it bit-exactly",
+                        key_context=f"{fn_name}.round",
+                    )
+                )
+            elif isinstance(node.func, ast.Name) and node.func.id == "str":
+                for arg in node.args:
+                    field = _float_field_name(arg)
+                    if field is not None:
+                        findings.append(
+                            self.finding(
+                                source,
+                                node,
+                                f"`str({field})` in wire function "
+                                f"`{fn_name}` sends a float field as a "
+                                "string; put the float itself in the "
+                                "payload",
+                                key_context=f"{fn_name}.str.{field}",
+                            )
+                        )
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "format"
+                and isinstance(node.func.value, ast.Constant)
+                and isinstance(node.func.value.value, str)
+                and _PERCENT_FLOAT_RE.search(node.func.value.value)
+                is None  # %-specs handled below; look for {:.Nf}
+                and re.search(r"\{[^{}]*:[^{}]*\.\d+[efgEFG]", node.func.value.value)
+            ):
+                findings.append(
+                    self.finding(
+                        source,
+                        node,
+                        f"`str.format` with a float precision spec in wire "
+                        f"function `{fn_name}`; send the raw float",
+                        key_context=f"{fn_name}.format",
+                    )
+                )
+        elif isinstance(node, ast.BinOp) and isinstance(node.op, ast.Mod):
+            left = node.left
+            if (
+                isinstance(left, ast.Constant)
+                and isinstance(left.value, str)
+                and _PERCENT_FLOAT_RE.search(left.value)
+            ):
+                findings.append(
+                    self.finding(
+                        source,
+                        node,
+                        f"%-formatting with a float spec in wire function "
+                        f"`{fn_name}` truncates precision; send the raw "
+                        "float",
+                        key_context=f"{fn_name}.percent-format",
+                    )
+                )
+        elif isinstance(node, ast.FormattedValue):
+            spec = node.format_spec
+            if spec is not None:
+                for part in ast.walk(spec):
+                    if (
+                        isinstance(part, ast.Constant)
+                        and isinstance(part.value, str)
+                        and _SPEC_FLOAT_RE.search(part.value)
+                    ):
+                        findings.append(
+                            self.finding(
+                                source,
+                                node,
+                                f"f-string float precision spec in wire "
+                                f"function `{fn_name}`; send the raw float",
+                                key_context=f"{fn_name}.fstring-format",
+                            )
+                        )
+                        break

@@ -200,6 +200,53 @@ def cmd_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Run the static-analysis suite (see ``docs/static-analysis.md``).
+
+    Exit codes follow ``repro plan``: 0 clean, 1 findings, 2 config errors
+    (unknown checker, unparseable source, unreadable allowlist, unwritable
+    ``--output``).
+    """
+    from .analysis import (
+        LintConfigError,
+        all_checkers,
+        load_allowlist,
+        load_project,
+        render_json,
+        render_text,
+        run_lint,
+    )
+
+    if args.list_checkers:
+        for checker in all_checkers().values():
+            print(f"{checker.id:16s} {checker.description}")
+        return 0
+
+    try:
+        project = load_project(args.root, src=args.src, tests=args.tests)
+        allowlist = load_allowlist(args.allowlist) if args.allowlist else set()
+        result = run_lint(project, checker_ids=args.checker, allowlist=allowlist)
+    except LintConfigError as exc:
+        print(f"lint configuration error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        text = render_json(result, show_suppressed=args.show_suppressed)
+    else:
+        text = render_text(result, show_suppressed=args.show_suppressed)
+    if args.output:
+        try:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(text + "\n")
+        except OSError as exc:
+            print(f"cannot write lint report: {exc}", file=sys.stderr)
+            return 2
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(text)
+    return 0 if result.clean else 1
+
+
 def _parse_weights(entries: Sequence[str]) -> dict[str, float]:
     """Parse repeated ``--weight client=N`` flags into a weight map."""
     import math
@@ -334,6 +381,34 @@ def build_parser() -> argparse.ArgumentParser:
                                "fresh one (warm across repeated invocations in "
                                "the same process)")
     sub_plan.set_defaults(func=cmd_plan)
+
+    sub_lint = subparsers.add_parser(
+        "lint",
+        help="run the AST-based invariant checkers (lock discipline, "
+             "kernel-parity contracts, NumPy hygiene, async-blocking, wire "
+             "precision) over src/ and tests/",
+    )
+    sub_lint.add_argument("--root", default=".",
+                          help="repository root to lint (default: cwd)")
+    sub_lint.add_argument("--src", default="src",
+                          help="source tree relative to --root (default: src)")
+    sub_lint.add_argument("--tests", default="tests",
+                          help="test tree relative to --root (default: tests)")
+    sub_lint.add_argument("--format", choices=("text", "json"), default="text",
+                          help="output format (default text)")
+    sub_lint.add_argument("--output", default=None,
+                          help="write the report to this file")
+    sub_lint.add_argument("--checker", action="append", metavar="ID",
+                          help="run only this checker (repeatable; "
+                               "default: all)")
+    sub_lint.add_argument("--allowlist", default=None, metavar="FILE",
+                          help="file of grandfathered finding keys "
+                               "(one per line, # comments)")
+    sub_lint.add_argument("--show-suppressed", action="store_true",
+                          help="also list suppressed and allowlisted findings")
+    sub_lint.add_argument("--list-checkers", action="store_true",
+                          help="list registered checkers and exit")
+    sub_lint.set_defaults(func=cmd_lint)
 
     sub_serve = subparsers.add_parser(
         "serve",

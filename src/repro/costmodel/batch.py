@@ -29,13 +29,17 @@ evaluations across schemes and figures instead of re-running the engine.
 
 from __future__ import annotations
 
+# repro: kernel
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Any, Sequence
+
+from numpy.typing import ArrayLike
 
 import numpy as np
 
+from ..locking import make_lock
 from .abstract import CostModelError, SeriesEstimate, StepCost, estimate_series
 
 __all__ = [
@@ -52,7 +56,9 @@ __all__ = [
 ]
 
 
-def as_ratio_matrix(ratio_matrix, n_steps: int, validate: bool = True) -> np.ndarray:
+def as_ratio_matrix(
+    ratio_matrix: ArrayLike, n_steps: int, validate: bool = True
+) -> np.ndarray:
     """Validate and normalise candidate ratios to an ``(m, n_steps)`` matrix.
 
     A single ratio vector is promoted to a one-row matrix.  Raises
@@ -260,7 +266,7 @@ def _stacked_totals(
 
 
 def batch_totals(
-    steps: Sequence[StepCost], ratio_matrix, validate: bool = True
+    steps: Sequence[StepCost], ratio_matrix: ArrayLike, validate: bool = True
 ) -> np.ndarray:
     """Per-row ``total_s`` (Eq. 1) without materialising a full BatchEstimate.
 
@@ -348,7 +354,7 @@ def batch_totals_mixed(
 
 
 def estimate_series_batch(
-    steps: Sequence[StepCost], ratio_matrix
+    steps: Sequence[StepCost], ratio_matrix: ArrayLike
 ) -> BatchEstimate:
     """Evaluate the abstract model (Eqs. 1-5) for a batch of ratio vectors.
 
@@ -430,7 +436,13 @@ def estimate_series_batch(
     )
 
 
-def steps_fingerprint(steps: Sequence[StepCost]) -> tuple:
+#: Hashable identity of a calibrated step series, as produced by
+#: :func:`steps_fingerprint`: one (name, n_tuples, cpu_unit_s, gpu_unit_s,
+#: intermediate_bytes_per_tuple) entry per step.
+Fingerprint = tuple[tuple[str, int, float, float, float], ...]
+
+
+def steps_fingerprint(steps: Sequence[StepCost]) -> Fingerprint:
     """Hashable identity of a calibrated step series for cache keying."""
     return tuple(
         (s.name, s.n_tuples, s.cpu_unit_s, s.gpu_unit_s, s.intermediate_bytes_per_tuple)
@@ -479,9 +491,11 @@ class EstimateCache:
         self.decimals = decimals
         #: fingerprint -> {quantised row bytes -> (exact row bytes, total
         #: seconds)}, LRU-ordered by fingerprint access.
-        self._totals: OrderedDict[tuple, dict[bytes, tuple[bytes, float]]] = OrderedDict()
+        self._totals: OrderedDict[
+            Fingerprint, dict[bytes, tuple[bytes, float]]
+        ] = OrderedDict()
         self._estimates: OrderedDict[
-            tuple, dict[bytes, tuple[bytes, SeriesEstimate]]
+            Fingerprint, dict[bytes, tuple[bytes, SeriesEstimate]]
         ] = OrderedDict()
         self._total_rows = 0
         self._estimate_rows = 0
@@ -505,8 +519,9 @@ class EstimateCache:
 
     @staticmethod
     def _touch(
-        store: OrderedDict[tuple, dict], fingerprint: tuple
-    ) -> dict:
+        store: "OrderedDict[Fingerprint, dict[bytes, Any]]",
+        fingerprint: Fingerprint,
+    ) -> dict[bytes, Any]:
         """The fingerprint's bucket, created on demand and marked recent."""
         bucket = store.get(fingerprint)
         if bucket is None:
@@ -515,7 +530,10 @@ class EstimateCache:
         return bucket
 
     def _evict(
-        self, store: OrderedDict[tuple, dict], rows: int, other_rows: int
+        self,
+        store: "OrderedDict[Fingerprint, dict[bytes, Any]]",
+        rows: int,
+        other_rows: int,
     ) -> int:
         """Drop LRU buckets of ``store`` until both views fit the bound.
 
@@ -569,7 +587,9 @@ class EstimateCache:
             bucket[key] = (exact, total)
         return added
 
-    def totals(self, steps: Sequence[StepCost], ratio_matrix) -> np.ndarray:
+    def totals(
+        self, steps: Sequence[StepCost], ratio_matrix: ArrayLike
+    ) -> np.ndarray:
         """Per-row ``total_s`` of the batch, reusing previously seen rows."""
         matrix = as_ratio_matrix(ratio_matrix, len(steps))
         bucket = self._touch(self._totals, steps_fingerprint(steps))
@@ -667,7 +687,7 @@ class EstimateCache:
     def __len__(self) -> int:
         return self._total_rows + self._estimate_rows
 
-    def fingerprints(self) -> list[tuple]:
+    def fingerprints(self) -> list[Fingerprint]:
         """Cached step-series fingerprints, least recently used first."""
         order = list(self._totals)
         order.extend(fp for fp in self._estimates if fp not in self._totals)
@@ -702,9 +722,11 @@ class SharedEstimateCache(EstimateCache):
 
     def __init__(self, max_entries: int = 500_000, decimals: int = 12) -> None:
         super().__init__(max_entries=max_entries, decimals=decimals)
-        self._lock = threading.RLock()
+        self._lock = make_lock(reentrant=True)
 
-    def totals(self, steps: Sequence[StepCost], ratio_matrix) -> np.ndarray:
+    def totals(
+        self, steps: Sequence[StepCost], ratio_matrix: ArrayLike
+    ) -> np.ndarray:
         with self._lock:
             return super().totals(steps, ratio_matrix)
 
@@ -736,6 +758,21 @@ class SharedEstimateCache(EstimateCache):
                 "misses": self.misses,
                 "hit_rate": self.hit_rate,
             }
+
+    @property
+    def hit_rate(self) -> float:
+        # The base property reads two counters; unlocked, a concurrent
+        # ``estimate`` between the two reads can yield a rate > 1.0.
+        with self._lock:
+            return super().hit_rate
+
+    def fingerprints(self) -> list[Fingerprint]:
+        with self._lock:
+            return super().fingerprints()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        with self._lock:
+            return super().__repr__()
 
 
 #: Lazily created process-wide cache shared by planners, optimisers and the

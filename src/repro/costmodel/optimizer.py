@@ -25,9 +25,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from itertools import product
-from typing import Sequence
+from typing import Any, Callable, Generator, Sequence
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 from .abstract import SeriesEstimate, StepCost, estimate_series
 from .batch import EstimateCache, as_ratio_matrix, batch_totals, steps_fingerprint
@@ -119,7 +120,7 @@ class SeriesEvaluator:
         #: rows, this counts calls.
         self.engine_calls = 0
 
-    def totals(self, ratio_matrix) -> np.ndarray:
+    def totals(self, ratio_matrix: ArrayLike) -> np.ndarray:
         """``total_s`` per candidate row of the matrix."""
         matrix = as_ratio_matrix(ratio_matrix, len(self.steps), validate=False)
         self.evaluations += matrix.shape[0]
@@ -176,7 +177,7 @@ class OptimizationResult:
     scheme: str = "PL"
     #: Optimiser-specific bookkeeping (the vectorized PL descent records its
     #: per-start rounds/accepted updates and the engine-call count here).
-    stats: dict = field(default_factory=dict)
+    stats: dict[str, Any] = field(default_factory=dict)
 
     @property
     def total_s(self) -> float:
@@ -427,7 +428,7 @@ def pl_descent_plan(
     exhaustive_limit: int = 3,
     exhaustive_delta: float = 0.1,
     speculation: str = "full",
-):
+) -> Generator[np.ndarray, np.ndarray, tuple[list[float], dict[str, Any]]]:
     """The PL optimisation as a resumable evaluation plan (a generator).
 
     Yields ``(m, n)`` candidate ratio matrices and expects the matching
@@ -492,7 +493,7 @@ def pl_descent_plan(
     # pure row dedup.
     seen_segments: dict[tuple, np.ndarray] = {}
 
-    def segment_key(state: _DescentState) -> tuple:
+    def segment_key(state: _DescentState) -> tuple[object, ...]:
         return (
             tuple(state.ratios),
             state._next_coord,
@@ -551,14 +552,18 @@ def pl_descent_plan(
     return best_ratios, stats
 
 
-def drive_plan(plan, totals_fn):
+def drive_plan(
+    plan: Generator[np.ndarray, np.ndarray, tuple[list[float], dict[str, Any]]],
+    totals_fn: Callable[[np.ndarray], np.ndarray],
+) -> tuple[list[float], dict[str, Any]]:
     """Run an evaluation plan to completion against one totals callback."""
     try:
         matrix = next(plan)
         while True:
             matrix = plan.send(totals_fn(matrix))
     except StopIteration as stop:
-        return stop.value
+        value: tuple[list[float], dict[str, Any]] = stop.value
+        return value
 
 
 def optimize_pl(

@@ -21,6 +21,7 @@ structure and report the identical per-tuple work quantities.
 
 from __future__ import annotations
 
+# repro: kernel
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -149,7 +150,9 @@ class HashTable:
             "key_node_bucket",
         ):
             old = getattr(self, name)
-            grown = np.empty(new_capacity, dtype=np.int64)
+            # Amortised doubling: this loop runs once per capacity level,
+            # not per tuple, and the new buffer *is* the workspace.
+            grown = np.empty(new_capacity, dtype=np.int64)  # repro: ignore[numpy-hygiene]
             grown[: self.n_key_nodes] = old[: self.n_key_nodes]
             setattr(self, name, grown)
 
@@ -161,7 +164,8 @@ class HashTable:
         new_capacity = max(needed, capacity * 2)
         for name in ("rid_node_rid", "rid_node_next", "rid_node_owner"):
             old = getattr(self, name)
-            grown = np.empty(new_capacity, dtype=np.int64)
+            # Amortised doubling, as in _ensure_key_capacity above.
+            grown = np.empty(new_capacity, dtype=np.int64)  # repro: ignore[numpy-hygiene]
             grown[: self.n_rid_nodes] = old[: self.n_rid_nodes]
             setattr(self, name, grown)
 

@@ -10,6 +10,7 @@ consistently with how the paper profiles them.
 
 from __future__ import annotations
 
+# repro: kernel
 import numpy as np
 
 #: Multiplicative constant of MurmurHash2.

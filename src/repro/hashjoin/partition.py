@@ -10,6 +10,7 @@ fewer memory stalls during the probe.
 
 from __future__ import annotations
 
+# repro: kernel
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -462,7 +463,9 @@ def _concat_columnar(
         if workspace is not None:
             column = workspace.buffer(phase, step_idx, q_idx, total)
         else:
-            column = np.empty(total, dtype=np.float64)
+            # Workspace-less fallback path (callers without a ConcatWorkspace);
+            # the workspace branch above is the hot one.
+            column = np.empty(total, dtype=np.float64)  # repro: ignore[numpy-hygiene]
         pieces = [
             np.asarray(value, dtype=np.float64)
             if isinstance(value, np.ndarray)

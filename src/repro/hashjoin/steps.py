@@ -20,6 +20,7 @@ portion — including workload divergence of the specific tuple range.
 
 from __future__ import annotations
 
+# repro: kernel
 from dataclasses import dataclass, field
 from typing import Sequence
 

@@ -1,0 +1,31 @@
+"""Shared lock-construction helper.
+
+``SharedEstimateCache`` and ``PlanService`` used to spell their lock
+creation independently (``threading.RLock()`` vs ``threading.Lock()``);
+:func:`make_lock` is the one idiom both use now — and the one the
+``lock-discipline`` checker (:mod:`repro.analysis.lock_discipline`)
+recognises as establishing a lock-owning class, alongside the raw
+``threading`` constructors.
+
+Use ``reentrant=True`` when public methods of the class call other public
+methods that take the same lock (the shared cache's ``stats`` calling
+``hit_rate``); plain mutual exclusion wants the cheaper non-reentrant lock.
+
+The return type is the context-manager protocol rather than a concrete lock
+class because ``threading.Lock``/``RLock`` are factory functions, not
+types — and ``with self._lock:`` is the only operation the callers use.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import ContextManager
+
+__all__ = ["make_lock"]
+
+
+def make_lock(reentrant: bool = False) -> ContextManager[bool]:
+    """A ``threading`` lock; reentrant when the owner re-enters its own API."""
+    if reentrant:
+        return threading.RLock()
+    return threading.Lock()

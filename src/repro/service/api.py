@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from typing import Any, Mapping, Sequence
 
 from ..costmodel.abstract import CostModelError, SeriesEstimate, StepCost
-from ..costmodel.batch import steps_fingerprint
+from ..costmodel.batch import Fingerprint, steps_fingerprint
 from ..costmodel.optimizer import DEFAULT_DELTA
 
 __all__ = [
@@ -37,6 +37,10 @@ OPTIMIZE_SCHEMES = ("PL", "OL", "DD", "CPU", "GPU", "CPU-ONLY", "GPU-ONLY")
 #: Pseudo-scheme: estimate the request's own ratio vector instead of
 #: optimising one (the paper's what-if questions).
 WHAT_IF = "WHAT-IF"
+
+#: Identity of a request's *answer* (fingerprint, scheme, delta, ratios):
+#: equal keys are served by one solve.
+TaskKey = tuple[Fingerprint, str, float, "tuple[float, ...] | None"]
 
 
 class WorkloadError(ValueError):
@@ -89,12 +93,12 @@ class PlanRequest:
 
     # ------------------------------------------------------------------
     @property
-    def fingerprint(self) -> tuple:
+    def fingerprint(self) -> Fingerprint:
         """Steps identity used for cross-request grouping and caching."""
         return steps_fingerprint(self.steps)
 
     @property
-    def task_key(self) -> tuple:
+    def task_key(self) -> "TaskKey":
         """Identity of the *answer*: equal keys are served by one solve."""
         return (self.fingerprint, self.scheme, self.delta, self.ratios)
 

@@ -441,11 +441,14 @@ class PlanClient:
             except asyncio.CancelledError:
                 pass
             self._reader_task = None
-        self._writer.close()
-        try:
-            await self._writer.wait_closed()
-        except (ConnectionError, OSError):
-            pass
+        # Take the write lock so an in-flight `_request` finishes its
+        # write+drain before the transport goes away under it.
+        async with self._write_lock:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
 
 
 async def connect_plan_client(

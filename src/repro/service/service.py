@@ -37,14 +37,18 @@ pool return exactly what the single-threaded path would.
 
 from __future__ import annotations
 
-import threading
 from collections import Counter, OrderedDict
 from typing import Any, Callable, Iterable, Sequence
 
 import numpy as np
 
 from ..costmodel.abstract import StepCost
-from ..costmodel.batch import EstimateCache, batch_totals_mixed, shared_estimate_cache
+from ..costmodel.batch import (
+    EstimateCache,
+    Fingerprint,
+    batch_totals_mixed,
+    shared_estimate_cache,
+)
 from ..costmodel.optimizer import (
     OL_ENUMERATION_LIMIT,
     OptimizationResult,
@@ -56,17 +60,18 @@ from ..costmodel.optimizer import (
     pl_descent_plan,
     validate_speculation,
 )
-from .api import WHAT_IF, PlanRequest, PlanResponse, WorkloadError
+from ..locking import make_lock
+from .api import WHAT_IF, PlanRequest, PlanResponse, TaskKey, WorkloadError
 
 __all__ = ["BatchFormer", "PlanService", "dedup_tasks"]
 
 #: A batch-formation strategy: maps the validated request batch to the
 #: ordered ``task_key -> representative request`` mapping the evaluation
 #: strategies solve.  Injectable via ``PlanService(batch_former=...)``.
-BatchFormer = Callable[[Sequence[PlanRequest]], "OrderedDict[tuple, PlanRequest]"]
+BatchFormer = Callable[[Sequence[PlanRequest]], "OrderedDict[TaskKey, PlanRequest]"]
 
 
-def dedup_tasks(batch: Sequence[PlanRequest]) -> "OrderedDict[tuple, PlanRequest]":
+def dedup_tasks(batch: Sequence[PlanRequest]) -> "OrderedDict[TaskKey, PlanRequest]":
     """Default batch formation: collapse requests with identical task keys.
 
     The first request with a given key represents the task; every sibling
@@ -76,7 +81,7 @@ def dedup_tasks(batch: Sequence[PlanRequest]) -> "OrderedDict[tuple, PlanRequest
     a former that drops one, because a silent partial answer set would be
     indistinguishable from a solved batch.
     """
-    tasks: OrderedDict[tuple, PlanRequest] = OrderedDict()
+    tasks: OrderedDict[TaskKey, PlanRequest] = OrderedDict()
     for request in batch:
         tasks.setdefault(request.task_key, request)
     return tasks
@@ -123,7 +128,7 @@ class PlanService:
         #: not on its first PL request.
         validate_speculation(speculation)
         self.speculation = speculation
-        self._lock = threading.Lock()
+        self._lock = make_lock()
         self.requests_served = 0
         self.tasks_solved = 0
         self.requests_deduplicated = 0
@@ -192,7 +197,7 @@ class PlanService:
     # Mixed-series strategy: one engine call per round for the whole batch.
     # ------------------------------------------------------------------
     def _solve_mixed(
-        self, tasks: "OrderedDict[tuple, PlanRequest]"
+        self, tasks: "OrderedDict[TaskKey, PlanRequest]"
     ) -> tuple[dict[tuple, OptimizationResult], int]:
         """Answer every unique task off lockstep mixed-series evaluation.
 
@@ -203,9 +208,9 @@ class PlanService:
         segments of the slowest PL task)`` instead of one per fingerprint
         plus several per PL task.
         """
-        grid_tasks: list[tuple[tuple, PlanRequest, np.ndarray]] = []
+        grid_tasks: list[tuple[TaskKey, PlanRequest, np.ndarray]] = []
         plans: dict[tuple, Any] = {}
-        pending: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
+        pending: "OrderedDict[TaskKey, np.ndarray]" = OrderedDict()
         rows_charged: dict[tuple, int] = {}
         for key, task in tasks.items():
             matrix = self._candidate_matrix(task)
@@ -250,7 +255,7 @@ class PlanService:
             engine_calls += 1
 
             offset = 0
-            still_pending: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
+            still_pending: "OrderedDict[TaskKey, np.ndarray]" = OrderedDict()
             for key, matrix in pending.items():
                 block = totals[offset : offset + matrix.shape[0]]
                 offset += matrix.shape[0]
@@ -292,10 +297,12 @@ class PlanService:
     # Per-fingerprint strategy (the PR 2 path, kept as reference baseline).
     # ------------------------------------------------------------------
     def _solve_per_fingerprint(
-        self, tasks: "OrderedDict[tuple, PlanRequest]"
+        self, tasks: "OrderedDict[TaskKey, PlanRequest]"
     ) -> dict[tuple, OptimizationResult]:
         """One stacked engine call per distinct step series, PL per task."""
-        stacks: OrderedDict[tuple, list[tuple[tuple, np.ndarray]]] = OrderedDict()
+        stacks: OrderedDict[
+            Fingerprint, list[tuple[TaskKey, np.ndarray]]
+        ] = OrderedDict()
         steps_for: dict[tuple, tuple[StepCost, ...]] = {}
         for key, task in tasks.items():
             matrix = self._candidate_matrix(task)

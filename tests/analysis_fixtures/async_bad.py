@@ -1,0 +1,23 @@
+"""Seeded async-blocking violations.
+
+Expected findings, all inside ``async def``:
+  * ``tick`` calls ``time.sleep``.
+  * ``fetch`` calls ``subprocess.run``.
+  * ``load`` calls ``open``.
+"""
+
+import subprocess
+import time
+
+
+async def tick():
+    time.sleep(0.1)  # SEED: blocking sleep on the event loop
+
+
+async def fetch():
+    return subprocess.run(["true"])  # SEED: blocking subprocess
+
+
+async def load(path):
+    with open(path) as handle:  # SEED: sync file IO
+        return handle.read()

@@ -1,0 +1,34 @@
+"""Clean twin of async_bad.py: async-safe equivalents, plus the sync
+contexts in which the same calls are fine."""
+
+import asyncio
+import subprocess
+import time
+
+
+async def tick():
+    await asyncio.sleep(0.1)
+
+
+async def fetch():
+    proc = await asyncio.create_subprocess_exec("true")
+    await proc.wait()
+    return proc
+
+
+async def load(path, loop):
+    def read_sync():
+        # A nested *sync* def resets the context: it may run in an
+        # executor, so blocking IO here must not be flagged.
+        with open(path) as handle:
+            return handle.read()
+
+    return await loop.run_in_executor(None, read_sync)
+
+
+def warm_up():
+    # Plain sync function: blocking calls are fine here.
+    time.sleep(0.01)
+    subprocess.run(["true"])
+    with open(__file__) as handle:
+        return handle.readline()

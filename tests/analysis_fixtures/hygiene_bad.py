@@ -1,0 +1,39 @@
+"""Seeded NumPy hygiene violations in a kernel-marked module.
+
+Expected findings:
+  * ``sum_rows`` loops Python-side over an array.
+  * ``concat_parts`` allocates with ``np.concatenate`` inside a loop.
+  * ``widen`` multiplies a float32 array by a float literal.
+"""
+
+# repro: kernel
+import numpy as np
+
+
+def sum_rows(n):
+    matrix = np.ones((n, 4))
+    total = 0.0
+    for row in matrix:  # SEED: loop-over-array
+        total += row[0]
+    return total
+
+
+def concat_parts(parts):
+    out = None
+    for _ in range(3):
+        out = np.concatenate(parts)  # SEED: alloc-in-loop
+    return out
+
+
+def widen(n):
+    column = np.zeros(n, dtype=np.float32)
+    return column * 2.5  # SEED: dtype-widening float literal
+
+
+def reference_sum(n):  # repro: reference
+    # Marked reference implementation: scalar loops here are the point.
+    matrix = np.ones((n, 4))
+    total = 0.0
+    for row in matrix:
+        total += row[0]
+    return total

@@ -1,0 +1,36 @@
+"""Clean twin of hygiene_bad.py: same work, kernel-idiomatic spelling."""
+
+# repro: kernel
+import numpy as np
+
+
+def sum_rows(n):
+    matrix = np.ones((n, 4))
+    return float(matrix[:, 0].sum())
+
+
+def sum_rows_scalar(n):
+    matrix = np.ones((n, 4))
+    total = 0.0
+    # .tolist() untaints: deliberate scalar iteration is the sanctioned idiom.
+    for row in matrix.tolist():
+        total += row[0]
+    return total
+
+
+def concat_parts(parts, workspace):
+    for _ in range(3):
+        np.concatenate(parts, out=workspace)  # out= satisfies the checker
+    return workspace
+
+
+def stays_narrow(n):
+    column = np.zeros(n, dtype=np.float32)
+    return column * np.float32(2.5)
+
+
+def hoisted_alloc(parts):
+    out = np.concatenate(parts)  # not in a loop: fine
+    for _ in range(3):
+        out += 1
+    return out

@@ -1,0 +1,54 @@
+"""Clean twin of lock_bad.py: every guarded access is under the lock."""
+
+import threading
+
+from repro.locking import make_lock
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0
+
+    def bump(self):
+        with self._lock:
+            self.count += 1
+
+    def read_locked(self):
+        with self._lock:
+            return self.count
+
+    def _helper(self):
+        # Private helper: caller holds the lock.
+        return self.count
+
+    def __repr__(self):
+        with self._lock:
+            return f"Counter({self.count})"
+
+
+class SafeBase:
+    def peek(self):
+        with self._lock:
+            return self.value
+
+
+class SharedChild(SafeBase):
+    def __init__(self):
+        # make_lock must count as lock ownership for the checker.
+        self._lock = make_lock()
+        self.value = 0
+
+    def set(self, v):
+        with self._lock:
+            self.value = v
+
+
+class Unlocked:
+    """No lock at all: the checker must skip this class entirely."""
+
+    def __init__(self):
+        self.count = 0
+
+    def bump(self):
+        self.count += 1

@@ -1,0 +1,29 @@
+"""Seeded wire-precision violations.
+
+Expected findings, all inside wire-scope functions:
+  * ``response_to_wire`` rounds a float.
+  * ``response_to_wire`` stringifies a float field.
+  * ``stats_to_wire`` %-formats a float.
+  * ``envelope`` uses an f-string precision spec.
+"""
+
+
+def response_to_wire(response):
+    return {
+        "total_s": round(response.total_s, 6),  # SEED: round on the wire
+        "ratios": [str(r) for r in response.ratios],
+        "delta": str(response.delta),  # SEED: str() of a float field
+    }
+
+
+def stats_to_wire(stats):
+    return {"hit_rate": "%.4f" % stats.hit_rate}  # SEED: %-float formatting
+
+
+def envelope(payload):
+    return f"{payload.queued_s:.3f}"  # SEED: f-string precision spec
+
+
+def display_summary(response):
+    # NOT wire scope: rounding for display must not be flagged.
+    return f"total={round(response.total_s, 2)}"

@@ -1,0 +1,22 @@
+"""Clean twin of wire_bad.py: full-precision wire serialisation."""
+
+
+def response_to_wire(response):
+    return {
+        "total_s": float(response.total_s),
+        "ratios": [float(r) for r in response.ratios],
+        "delta": float(response.delta),
+        "id": str(response.request_id),  # str() of a non-float field: fine
+    }
+
+
+def stats_to_wire(stats):
+    return {"hit_rate": float(stats.hit_rate)}
+
+
+def envelope(payload):
+    return {"queued_s": float(payload.queued_s)}
+
+
+def display_summary(response):
+    return f"total={round(response.total_s, 2)}"

@@ -14,6 +14,7 @@ from repro.costmodel import (
     CostModelError,
     EstimateCache,
     MonteCarloSample,
+    SeriesEvaluator,
     StepCost,
     dd_sweep,
     estimate_series,
@@ -214,12 +215,49 @@ class TestOptimizerParity:
     )
     def test_dd_and_ol_identical_to_scalar_path(self, n_steps, seed):
         steps = random_steps(np.random.default_rng(seed), n_steps)
-        for fn in (optimize_dd, optimize_ol):
-            batched = fn(steps)
-            scalar = fn(steps, use_batch=False)
+        # Direct calls (not a loop over a function variable) so the
+        # kernel-parity checker can see both toggles exercised statically.
+        for batched, scalar in (
+            (optimize_dd(steps), optimize_dd(steps, use_batch=False)),
+            (optimize_ol(steps), optimize_ol(steps, use_batch=False)),
+        ):
             assert batched.ratios == scalar.ratios
             assert batched.evaluations == scalar.evaluations
             assert batched.total_s == pytest.approx(scalar.total_s, abs=TOL, rel=TOL)
+
+    @SETTINGS
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_pl_vectorized_toggle_identical_decisions(self, n_steps, seed):
+        """vectorized=False (per-coordinate descent) is the reference the
+        speculative batched descent must match ratio-for-ratio."""
+        steps = random_steps(np.random.default_rng(seed), n_steps)
+        batched = optimize_pl(steps, delta=0.1, vectorized=True)
+        reference = optimize_pl(steps, delta=0.1, vectorized=False)
+        assert batched.ratios == reference.ratios
+        assert batched.total_s == pytest.approx(
+            reference.total_s, abs=TOL, rel=TOL
+        )
+
+    @SETTINGS
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_series_evaluator_toggle_matches_scalar_rows(self, n_steps, seed):
+        """SeriesEvaluator(use_batch=False) routes every row through the
+        scalar model; the batch engine must reproduce those totals."""
+        rng = np.random.default_rng(seed)
+        steps = random_steps(rng, n_steps)
+        matrix = rng.uniform(0.0, 1.0, size=(8, n_steps))
+        batched = SeriesEvaluator(steps, use_batch=True)
+        scalar = SeriesEvaluator(steps, use_batch=False)
+        np.testing.assert_allclose(
+            batched.totals(matrix), scalar.totals(matrix), rtol=TOL, atol=TOL
+        )
+        assert batched.evaluations == scalar.evaluations == matrix.shape[0]
 
     def test_empty_series_consistent_across_optimizers(self):
         """Regression: optimize_ol([]) crashed in ol_candidate_matrix while
