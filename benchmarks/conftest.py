@@ -35,6 +35,11 @@ REPORT_PATH = Path(__file__).resolve().parent.parent / "bench_report.txt"
 #: parsing logs.  The "5" is the PR number that introduced the format.
 BENCH_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_5.json"
 
+#: The serving-tier gates (pre-fork pool + persistent cache store, PR 7)
+#: record their measured speedups and hit rates separately, so the serving
+#: artifact can gate CI without re-running the figure benchmarks.
+BENCH7_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_7.json"
+
 
 @pytest.fixture(scope="session")
 def bench_tuples() -> int:
@@ -48,6 +53,9 @@ def _fresh_report() -> None:
     )
     BENCH_JSON_PATH.write_text(
         json.dumps({"bench_tuples": BENCH_TUPLES, "gates": {}}, indent=2) + "\n"
+    )
+    BENCH7_JSON_PATH.write_text(
+        json.dumps({"cpu_count": os.cpu_count(), "gates": {}}, indent=2) + "\n"
     )
 
 
@@ -67,6 +75,25 @@ def bench_json():
             data = {"bench_tuples": BENCH_TUPLES, "gates": {}}
         data.setdefault("gates", {}).setdefault(name, {}).update(fields)
         BENCH_JSON_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+    return record
+
+
+@pytest.fixture(scope="session")
+def bench_json7():
+    """Like ``bench_json`` but for the serving-tier artifact ``BENCH_7.json``.
+
+    The file is (re)created on first use, so a run of only the pool gates
+    still produces a complete artifact for CI to upload.
+    """
+
+    def record(name: str, **fields) -> None:
+        try:
+            data = json.loads(BENCH7_JSON_PATH.read_text())
+        except (OSError, ValueError):
+            data = {"cpu_count": os.cpu_count(), "gates": {}}
+        data.setdefault("gates", {}).setdefault(name, {}).update(fields)
+        BENCH7_JSON_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
 
     return record
 

@@ -267,6 +267,15 @@ def _parse_weights(entries: Sequence[str]) -> dict[str, float]:
 
 def cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
+    import os
+    import tempfile
+
+    from .service.pool import (
+        PoolConfig,
+        WorkerPool,
+        build_worker_server,
+        install_stop_signals,
+    )
 
     if not args.unix and not args.port:
         print("serve needs --unix PATH and/or --port PORT", file=sys.stderr)
@@ -286,24 +295,88 @@ def cmd_serve(args: argparse.Namespace) -> int:
         print("--burst requires --rate (admission control is rate-based)",
               file=sys.stderr)
         return 2
+    if args.workers < 1:
+        print("--workers must be at least 1", file=sys.stderr)
+        return 2
+    if args.shared_cache and args.cache_store:
+        print("--shared-cache and --cache-store are mutually exclusive "
+              "(the store already shares the cache across workers and "
+              "restarts)", file=sys.stderr)
+        return 2
+
+    cache_store = args.cache_store
+    if args.workers > 1 and args.rate is not None and cache_store is None:
+        # Per-worker buckets would admit N*rate fleet-wide; shared admission
+        # needs shared state, so conjure a transient store for it.
+        cache_store = os.path.join(
+            tempfile.mkdtemp(prefix="repro-serve-"), "cache.db"
+        )
+        print(f"admission control across {args.workers} workers needs shared "
+              f"state; using transient cache store {cache_store}",
+              file=sys.stderr)
+
+    config = PoolConfig(
+        workers=args.workers,
+        unix_path=args.unix or None,
+        tcp_host=args.host,
+        tcp_port=args.port or None,
+        cache_store=cache_store,
+        window_s=args.window_ms / 1000.0,
+        max_batch=args.max_batch,
+        weights=weights,
+        admission_rate=args.rate,
+        admission_burst=args.burst,
+        default_timeout_s=args.default_timeout,
+    )
+
+    if args.workers > 1:
+        try:
+            pool = WorkerPool(config)
+        except ValueError as exc:
+            print(f"invalid serve configuration: {exc}", file=sys.stderr)
+            return 2
+
+        def _announce(ready: WorkerPool) -> None:
+            if ready.unix_path is not None:
+                print(f"plan server listening on unix:{ready.unix_path} "
+                      f"({args.workers} workers)", file=sys.stderr)
+            if ready.tcp_address is not None:
+                print(f"plan server listening on "
+                      f"tcp:{ready.tcp_address[0]}:{ready.tcp_address[1]} "
+                      f"({args.workers} workers)", file=sys.stderr)
+
+        try:
+            pool.run_forever(on_ready=_announce)
+        except KeyboardInterrupt:
+            pass
+        print("plan server stopped", file=sys.stderr)
+        return 0
 
     try:
-        server = PlanServer(
-            service=PlanService(
-                cache=None if args.shared_cache else SharedEstimateCache()
-            ),
-            window_s=args.window_ms / 1000.0,
-            max_batch=args.max_batch,
-            weights=weights,
-            admission_rate=args.rate,
-            admission_burst=args.burst,
-            default_timeout_s=args.default_timeout,
-        )
+        if args.shared_cache:
+            service = PlanService()  # the process-wide shared cache
+            server = PlanServer(
+                service=service,
+                window_s=config.window_s,
+                max_batch=config.max_batch,
+                weights=weights,
+                admission_rate=args.rate,
+                admission_burst=args.burst,
+                default_timeout_s=args.default_timeout,
+            )
+        else:
+            server, service = build_worker_server(config)
     except ValueError as exc:
         print(f"invalid serve configuration: {exc}", file=sys.stderr)
         return 2
 
     async def _serve() -> None:
+        loop = asyncio.get_running_loop()
+        shutdown = asyncio.Event()
+        # SIGTERM from a supervisor/container must drain exactly like ^C:
+        # structured shutdown errors for queued work, cache flushed, socket
+        # file unlinked — not an abrupt death mid-batch.
+        installed = install_stop_signals(loop, shutdown)
         if args.unix:
             await server.start_unix(args.unix)
             print(f"plan server listening on unix:{args.unix}", file=sys.stderr)
@@ -316,14 +389,18 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
         try:
-            await asyncio.Event().wait()
+            await shutdown.wait()
         finally:
+            for signum in installed:
+                loop.remove_signal_handler(signum)
             await server.close()
+            service.close()
 
     try:
         asyncio.run(_serve())
     except KeyboardInterrupt:
-        print("plan server stopped", file=sys.stderr)
+        pass
+    print("plan server stopped", file=sys.stderr)
     return 0
 
 
@@ -417,6 +494,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub_serve.add_argument("--unix", default=None, metavar="PATH",
                            help="listen on a unix domain socket at PATH")
+    sub_serve.add_argument("--workers", type=int, default=1,
+                           help="pre-fork worker processes (default 1 = "
+                                "serve in-process; N>1 runs a router that "
+                                "hands accepted connections to N forked "
+                                "workers)")
+    sub_serve.add_argument("--cache-store", default=None, metavar="PATH",
+                           help="SQLite WAL estimate-cache store shared by "
+                                "all workers and across restarts (warm "
+                                "start); omit for per-process in-memory "
+                                "caches")
     sub_serve.add_argument("--host", default="127.0.0.1",
                            help="TCP bind address (default 127.0.0.1)")
     sub_serve.add_argument("--port", type=int, default=0,

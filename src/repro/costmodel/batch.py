@@ -535,19 +535,33 @@ class EstimateCache:
         rows: int,
         other_rows: int,
     ) -> int:
-        """Drop LRU buckets of ``store`` until both views fit the bound.
+        """Drop buckets of ``store`` until both views fit the bound.
 
         ``max_entries`` bounds the *combined* size of the totals and
         estimates views; each insert evicts from its own view, counting the
         sibling view's ``other_rows`` against the budget.
+
+        A runaway series — one whose bucket alone exceeds the budget left by
+        the sibling view — is dropped directly.  It is necessarily the
+        most-recently-used bucket (only an insert can push a bucket over,
+        and inserts touch their bucket first), and evicting LRU-first would
+        flush every *fitting* series' perfectly good rows before reaching
+        it, leaving the cache cold for everyone because of one oversized
+        workload.
         """
-        while rows + other_rows > self.max_entries and len(store) > 1:
+        budget = self.max_entries - other_rows
+        if rows > budget and store:
+            recent = next(reversed(store))
+            if len(store[recent]) > budget:
+                dropped = store.pop(recent)
+                rows -= len(dropped)
+        while rows > budget and len(store) > 1:
             _, dropped = store.popitem(last=False)
             rows -= len(dropped)
-        if rows + other_rows > self.max_entries and store:
-            # A single series larger than the remaining budget: drop it
-            # outright (the hard bound matters more than keeping a runaway
-            # series).
+        if rows > budget and store:
+            # The sibling view alone exceeds the whole bound: this view
+            # cannot fit any bucket until the sibling shrinks on its own
+            # next insert.
             _, dropped = store.popitem(last=False)
             rows -= len(dropped)
         return rows
@@ -587,20 +601,67 @@ class EstimateCache:
             bucket[key] = (exact, total)
         return added
 
+    # ------------------------------------------------------------------
+    # Backing-store hooks (no-ops here).  A persistent subclass — see
+    # :class:`repro.costmodel.cachestore.PersistentEstimateCache` — overrides
+    # these to consult/feed a durable store on the miss path; the base class
+    # keeps the exact in-memory behaviour (and counters) it always had.
+    # ------------------------------------------------------------------
+    def _restore_totals(
+        self,
+        fingerprint: Fingerprint,
+        bucket: dict[bytes, tuple[bytes, float]],
+        keys: list[tuple[bytes, bytes]],
+        missing: list[int],
+        out: np.ndarray,
+        offset: int,
+    ) -> tuple[list[int], int]:
+        """Fill rows from a backing store; return (still missing, rows added)."""
+        return missing, 0
+
+    def _persist_totals(
+        self,
+        fingerprint: Fingerprint,
+        keys: list[tuple[bytes, bytes]],
+        rows: list[int],
+        totals: list[float],
+    ) -> None:
+        """Offer freshly computed rows to a backing store."""
+
+    def _restore_estimate(
+        self, fingerprint: Fingerprint, key: bytes, exact: bytes
+    ) -> "SeriesEstimate | None":
+        """A stored scalar estimate for the exact row, if the store has one."""
+        return None
+
+    def _persist_estimate(
+        self, fingerprint: Fingerprint, key: bytes, exact: bytes,
+        estimate: SeriesEstimate,
+    ) -> None:
+        """Offer a freshly computed scalar estimate to a backing store."""
+
     def totals(
         self, steps: Sequence[StepCost], ratio_matrix: ArrayLike
     ) -> np.ndarray:
         """Per-row ``total_s`` of the batch, reusing previously seen rows."""
         matrix = as_ratio_matrix(ratio_matrix, len(steps))
-        bucket = self._touch(self._totals, steps_fingerprint(steps))
+        fingerprint = steps_fingerprint(steps)
+        bucket = self._touch(self._totals, fingerprint)
         keys = self._row_keys(matrix)
         out = np.empty(matrix.shape[0], dtype=np.float64)
         missing = self._probe_totals(bucket, keys, out, 0)
+        added = 0
+        if missing:
+            missing, added = self._restore_totals(
+                fingerprint, bucket, keys, missing, out, 0
+            )
         if missing:
             fresh = batch_totals(steps, matrix[missing], validate=False)
             for i, total in zip(missing, fresh.tolist()):
                 out[i] = total
-            added = self._store_totals(bucket, keys, missing, fresh.tolist())
+            added += self._store_totals(bucket, keys, missing, fresh.tolist())
+            self._persist_totals(fingerprint, keys, missing, fresh.tolist())
+        if added:
             self._total_rows = self._evict(
                 self._totals, self._total_rows + added, self._estimate_rows
             )
@@ -620,36 +681,54 @@ class EstimateCache:
         order.
         """
         prepared: list[
-            tuple[Sequence[StepCost], np.ndarray, dict, list[tuple[bytes, bytes]]]
+            tuple[
+                Sequence[StepCost],
+                np.ndarray,
+                Fingerprint,
+                dict,
+                list[tuple[bytes, bytes]],
+            ]
         ] = []
         total_rows = 0
         for steps, ratio_matrix in segments:
             matrix = as_ratio_matrix(ratio_matrix, len(steps))
-            bucket = self._touch(self._totals, steps_fingerprint(steps))
-            prepared.append((steps, matrix, bucket, self._row_keys(matrix)))
+            fingerprint = steps_fingerprint(steps)
+            bucket = self._touch(self._totals, fingerprint)
+            prepared.append(
+                (steps, matrix, fingerprint, bucket, self._row_keys(matrix))
+            )
             total_rows += matrix.shape[0]
 
         out = np.empty(total_rows, dtype=np.float64)
         missing_segments: list[tuple[Sequence[StepCost], np.ndarray]] = []
-        backfill: list[tuple[dict, list[tuple[bytes, bytes]], list[int], int]] = []
+        backfill: list[
+            tuple[Fingerprint, dict, list[tuple[bytes, bytes]], list[int], int]
+        ] = []
+        added = 0
         offset = 0
-        for steps, matrix, bucket, keys in prepared:
+        for steps, matrix, fingerprint, bucket, keys in prepared:
             missing = self._probe_totals(bucket, keys, out, offset)
             if missing:
+                missing, restored = self._restore_totals(
+                    fingerprint, bucket, keys, missing, out, offset
+                )
+                added += restored
+            if missing:
                 missing_segments.append((steps, matrix[missing]))
-                backfill.append((bucket, keys, missing, offset))
+                backfill.append((fingerprint, bucket, keys, missing, offset))
             offset += matrix.shape[0]
 
         if missing_segments:
             fresh = batch_totals_mixed(missing_segments, validate=False)
-            added = 0
             pos = 0
-            for bucket, keys, missing, offset in backfill:
+            for fingerprint, bucket, keys, missing, offset in backfill:
                 slice_totals = fresh[pos : pos + len(missing)].tolist()
                 pos += len(missing)
                 for i, total in zip(missing, slice_totals):
                     out[offset + i] = total
                 added += self._store_totals(bucket, keys, missing, slice_totals)
+                self._persist_totals(fingerprint, keys, missing, slice_totals)
+        if added:
             self._total_rows = self._evict(
                 self._totals, self._total_rows + added, self._estimate_rows
             )
@@ -663,16 +742,27 @@ class EstimateCache:
         in-place edits corrupt every later hit for the same key.
         """
         matrix = as_ratio_matrix(list(ratios), len(steps))
-        bucket = self._touch(self._estimates, steps_fingerprint(steps))
+        fingerprint = steps_fingerprint(steps)
+        bucket = self._touch(self._estimates, fingerprint)
         key, exact = self._row_keys(matrix)[0]
         cached = bucket.get(key)
         if cached is not None and cached[0] == exact:
             self.hits += 1
             return cached[1].copy()
+        restored = self._restore_estimate(fingerprint, key, exact)
+        if restored is not None:
+            self.hits += 1
+            added = 0 if key in bucket else 1
+            bucket[key] = (exact, restored)
+            self._estimate_rows = self._evict(
+                self._estimates, self._estimate_rows + added, self._total_rows
+            )
+            return restored.copy()
         self.misses += 1
         estimate = estimate_series(steps, list(ratios))
         added = 0 if key in bucket else 1
         bucket[key] = (exact, estimate)
+        self._persist_estimate(fingerprint, key, exact, estimate)
         self._estimate_rows = self._evict(
             self._estimates, self._estimate_rows + added, self._total_rows
         )

@@ -1,0 +1,660 @@
+"""Persistent SQLite backing store for the estimate cache (ISSUE 7 tentpole).
+
+The in-memory :class:`~repro.costmodel.batch.EstimateCache` dies with its
+process, and a pre-fork serving tier multiplies that problem by N: every
+worker would warm a private cache and share nothing.  This module gives the
+cache a durable, multi-process story:
+
+* :class:`EstimateCacheStore` — one SQLite database in WAL mode with
+  ``synchronous=NORMAL`` and a generous ``busy_timeout`` (the Paper-Scanner
+  idiom from SNIPPETS.md: WAL lets any number of reader processes proceed
+  while one writer commits).  Rows are keyed by ``(fingerprint, quantised
+  row bytes)`` and every row carries the *exact* (unquantised) ratio bytes,
+  so the byte-exact verification the in-memory cache performs on every hit
+  survives the round trip — a stored neighbour that collides at the
+  quantisation decimal is recomputed, never served.
+* **Write-behind batching** — the planning hot path never touches SQLite on
+  a write: freshly computed rows are appended to an in-memory queue under a
+  queue lock held for microseconds, and a background flusher thread commits
+  them in batched ``executemany`` transactions.  Reads happen only on the
+  *miss* path (which was about to pay a vectorized engine call anyway).
+* :class:`PersistentEstimateCache` — a
+  :class:`~repro.costmodel.batch.SharedEstimateCache` whose miss path
+  consults the store before the engine and feeds the store after it, so
+  forked workers share hits through the filesystem and a restarted process
+  starts warm.
+* **Fleet-wide admission state** — the ``admission`` table holds per-client
+  token buckets updated in single ``BEGIN IMMEDIATE`` transactions, letting
+  every worker of a pre-fork pool debit the same bucket (admission control
+  holds fleet-wide, not per worker).
+
+A corrupted or unreadable database must degrade, not crash, a serving
+process: :func:`open_persistent_cache` falls back to a cold in-memory
+:class:`SharedEstimateCache`, and any ``sqlite3`` error after open marks the
+store dead — subsequent fetches miss and enqueues drop, which is always
+correct (the cache recomputes) just slower.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import threading
+import time
+from typing import Any, Callable, Iterable, Sequence
+
+import numpy as np
+
+from .abstract import SeriesEstimate
+from .batch import (
+    SHARED_CACHE_MAX_ENTRIES,
+    Fingerprint,
+    SharedEstimateCache,
+)
+from ..locking import make_lock
+
+__all__ = [
+    "CacheStoreError",
+    "EstimateCacheStore",
+    "PersistentEstimateCache",
+    "SCHEMA_VERSION",
+    "decode_estimate",
+    "encode_estimate",
+    "encode_fingerprint",
+    "open_persistent_cache",
+]
+
+#: Bump on incompatible schema changes; a store written by a different
+#: schema version is refused at open (callers fall back to in-memory).
+SCHEMA_VERSION = 1
+
+#: SQLite limits host parameters per statement (999 in older builds);
+#: key-lookup IN-lists are chunked well below that.
+_SELECT_CHUNK = 400
+
+_SYNCHRONOUS_MODES = ("OFF", "NORMAL", "FULL")
+
+_SCHEMA = (
+    """
+    CREATE TABLE IF NOT EXISTS totals (
+        fingerprint BLOB NOT NULL,
+        qkey        BLOB NOT NULL,
+        exact       BLOB NOT NULL,
+        total       REAL NOT NULL,
+        PRIMARY KEY (fingerprint, qkey)
+    ) WITHOUT ROWID
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS estimates (
+        fingerprint BLOB NOT NULL,
+        qkey        BLOB NOT NULL,
+        exact       BLOB NOT NULL,
+        estimate    TEXT NOT NULL,
+        PRIMARY KEY (fingerprint, qkey)
+    ) WITHOUT ROWID
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS admission (
+        client      TEXT PRIMARY KEY,
+        tokens      REAL NOT NULL,
+        refilled_at REAL NOT NULL
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS meta (
+        key   TEXT PRIMARY KEY,
+        value TEXT NOT NULL
+    )
+    """,
+)
+
+
+class CacheStoreError(RuntimeError):
+    """The persistent store cannot be opened (missing, corrupt, wrong schema)."""
+
+
+# ---------------------------------------------------------------------------
+# Codecs.  JSON round-trips Python floats exactly (serialised via ``repr``,
+# parsed back to the identical IEEE-754 value), so both codecs are bit-exact
+# — the property the serving tier's parity gate depends on.
+# ---------------------------------------------------------------------------
+def encode_fingerprint(fingerprint: Fingerprint) -> bytes:
+    """A step-series fingerprint as canonical store-key bytes."""
+    return json.dumps(
+        [list(step) for step in fingerprint], separators=(",", ":")
+    ).encode("utf-8")
+
+
+def encode_estimate(estimate: SeriesEstimate) -> str:
+    """A scalar estimate as its JSON store row (bit-exact round trip)."""
+    return json.dumps(
+        {
+            "ratios": [float(x) for x in estimate.ratios],
+            "cpu_step_s": [float(x) for x in estimate.cpu_step_s],
+            "gpu_step_s": [float(x) for x in estimate.gpu_step_s],
+            "cpu_delay_s": [float(x) for x in estimate.cpu_delay_s],
+            "gpu_delay_s": [float(x) for x in estimate.gpu_delay_s],
+            "intermediate_bytes": float(estimate.intermediate_bytes),
+        },
+        separators=(",", ":"),
+    )
+
+
+def decode_estimate(text: str) -> SeriesEstimate:
+    """Rebuild a scalar estimate from :func:`encode_estimate` output.
+
+    Raises ``ValueError`` on malformed rows (a half-written or hand-edited
+    store row must read as a cache miss, not crash the server).
+    """
+    payload = json.loads(text)
+    if not isinstance(payload, dict):
+        raise ValueError("estimate row is not a JSON object")
+    vectors: dict[str, list[float]] = {}
+    for name in ("ratios", "cpu_step_s", "gpu_step_s", "cpu_delay_s", "gpu_delay_s"):
+        values = payload.get(name)
+        if not isinstance(values, list):
+            raise ValueError(f"estimate row field {name!r} is not a list")
+        vectors[name] = [float(v) for v in values]
+    return SeriesEstimate(
+        ratios=vectors["ratios"],
+        cpu_step_s=vectors["cpu_step_s"],
+        gpu_step_s=vectors["gpu_step_s"],
+        cpu_delay_s=vectors["cpu_delay_s"],
+        gpu_delay_s=vectors["gpu_delay_s"],
+        intermediate_bytes=float(payload.get("intermediate_bytes", 0.0)),
+    )
+
+
+# ---------------------------------------------------------------------------
+# The store.
+# ---------------------------------------------------------------------------
+class EstimateCacheStore:
+    """One SQLite WAL database shared by every worker of a serving fleet.
+
+    Two locks split the hot path from the durable path: ``_queue_lock``
+    guards the write-behind queues (held for an append), ``_db_lock`` guards
+    the connection (held across a read or one batched commit).  The flusher
+    thread wakes every ``flush_interval_s`` — or immediately once
+    ``flush_batch`` rows are queued — and writes everything pending in one
+    transaction, so a crash loses at most one flush interval of rows, never
+    corrupts committed ones (WAL + ``synchronous=NORMAL``).
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike[str],
+        *,
+        flush_interval_s: float = 0.05,
+        flush_batch: int = 512,
+        synchronous: str = "NORMAL",
+        timeout_s: float = 30.0,
+    ) -> None:
+        if flush_interval_s <= 0.0:
+            raise ValueError("flush_interval_s must be positive")
+        if flush_batch < 1:
+            raise ValueError("flush_batch must be at least 1")
+        synchronous = synchronous.upper()
+        if synchronous not in _SYNCHRONOUS_MODES:
+            raise ValueError(
+                f"synchronous must be one of {_SYNCHRONOUS_MODES}, got {synchronous!r}"
+            )
+        self.path = os.fspath(path)
+        self.flush_interval_s = flush_interval_s
+        self.flush_batch = flush_batch
+        self.synchronous = synchronous
+        self._queue_lock = make_lock()
+        self._db_lock = make_lock()
+        self._pending_totals: list[tuple[bytes, bytes, bytes, float]] = []
+        self._pending_estimates: list[tuple[bytes, bytes, bytes, str]] = []
+        self._wake = threading.Event()
+        self._closed = False
+        self._dead = False
+        self.rows_flushed = 0
+        self.flushes = 0
+        self.reads = 0
+        self.read_rows = 0
+        try:
+            # isolation_level=None puts sqlite3 in autocommit mode; every
+            # multi-statement section below brackets itself with explicit
+            # BEGIN/COMMIT so transaction scope is visible, not implied.
+            self._conn = sqlite3.connect(
+                self.path, timeout=timeout_s, check_same_thread=False,
+                isolation_level=None,
+            )
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute(f"PRAGMA synchronous={synchronous}")
+            self._conn.execute(f"PRAGMA busy_timeout={int(timeout_s * 1000)}")
+            for statement in _SCHEMA:
+                self._conn.execute(statement)
+            self._check_schema_version()
+        except sqlite3.Error as exc:
+            raise CacheStoreError(
+                f"cannot open estimate cache store at {self.path!r}: {exc}"
+            ) from exc
+        self._flusher = threading.Thread(
+            target=self._flush_loop, name="cachestore-flush", daemon=True
+        )
+        self._flusher.start()
+
+    def _check_schema_version(self) -> None:
+        row = self._conn.execute(
+            "SELECT value FROM meta WHERE key = 'schema_version'"
+        ).fetchone()
+        if row is None:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO meta VALUES ('schema_version', ?)",
+                (str(SCHEMA_VERSION),),
+            )
+        elif row[0] != str(SCHEMA_VERSION):
+            raise CacheStoreError(
+                f"store at {self.path!r} has schema version {row[0]}, "
+                f"this build speaks {SCHEMA_VERSION}"
+            )
+
+    # ------------------------------------------------------------------
+    # Read path (miss path of the cache: about to pay an engine call).
+    # ------------------------------------------------------------------
+    def fetch_totals(
+        self, fingerprint: bytes, qkeys: Sequence[bytes]
+    ) -> dict[bytes, tuple[bytes, float]]:
+        """Stored ``qkey -> (exact bytes, total)`` rows for one fingerprint."""
+        with self._db_lock:
+            if self._dead or self._closed:
+                return {}
+            found: dict[bytes, tuple[bytes, float]] = {}
+            try:
+                for start in range(0, len(qkeys), _SELECT_CHUNK):
+                    chunk = qkeys[start : start + _SELECT_CHUNK]
+                    marks = ",".join("?" * len(chunk))
+                    rows = self._conn.execute(
+                        f"SELECT qkey, exact, total FROM totals "
+                        f"WHERE fingerprint = ? AND qkey IN ({marks})",
+                        (fingerprint, *chunk),
+                    ).fetchall()
+                    for qkey, exact, total in rows:
+                        found[bytes(qkey)] = (bytes(exact), float(total))
+            except sqlite3.Error:
+                self._dead = True
+                return {}
+            self.reads += 1
+            self.read_rows += len(found)
+            return found
+
+    def fetch_estimate(
+        self, fingerprint: bytes, qkey: bytes
+    ) -> tuple[bytes, str] | None:
+        """The stored ``(exact bytes, estimate JSON)`` row, if present."""
+        with self._db_lock:
+            if self._dead or self._closed:
+                return None
+            try:
+                row = self._conn.execute(
+                    "SELECT exact, estimate FROM estimates "
+                    "WHERE fingerprint = ? AND qkey = ?",
+                    (fingerprint, qkey),
+                ).fetchone()
+            except sqlite3.Error:
+                self._dead = True
+                return None
+            self.reads += 1
+            if row is None:
+                return None
+            self.read_rows += 1
+            return bytes(row[0]), str(row[1])
+
+    # ------------------------------------------------------------------
+    # Write-behind path (hot path: an append under a microsecond lock).
+    # ------------------------------------------------------------------
+    def enqueue_totals(
+        self, fingerprint: bytes, rows: Iterable[tuple[bytes, bytes, float]]
+    ) -> None:
+        """Queue freshly computed ``(qkey, exact, total)`` rows for flushing."""
+        with self._queue_lock:
+            if self._dead or self._closed:
+                return
+            self._pending_totals.extend(
+                (fingerprint, qkey, exact, total) for qkey, exact, total in rows
+            )
+            backlog = len(self._pending_totals) + len(self._pending_estimates)
+        if backlog >= self.flush_batch:
+            self._wake.set()
+
+    def enqueue_estimate(
+        self, fingerprint: bytes, qkey: bytes, exact: bytes, estimate: str
+    ) -> None:
+        """Queue one freshly computed scalar estimate row for flushing."""
+        with self._queue_lock:
+            if self._dead or self._closed:
+                return
+            self._pending_estimates.append((fingerprint, qkey, exact, estimate))
+            backlog = len(self._pending_totals) + len(self._pending_estimates)
+        if backlog >= self.flush_batch:
+            self._wake.set()
+
+    def flush(self) -> int:
+        """Write everything pending in one transaction; returns rows written."""
+        with self._queue_lock:
+            totals, self._pending_totals = self._pending_totals, []
+            estimates, self._pending_estimates = self._pending_estimates, []
+        if not totals and not estimates:
+            return 0
+        with self._db_lock:
+            if self._dead or self._closed:
+                return 0
+            try:
+                self._conn.execute("BEGIN IMMEDIATE")
+                if totals:
+                    self._conn.executemany(
+                        "INSERT OR REPLACE INTO totals VALUES (?, ?, ?, ?)", totals
+                    )
+                if estimates:
+                    self._conn.executemany(
+                        "INSERT OR REPLACE INTO estimates VALUES (?, ?, ?, ?)",
+                        estimates,
+                    )
+                self._conn.execute("COMMIT")
+            except sqlite3.Error:
+                try:
+                    self._conn.execute("ROLLBACK")
+                except sqlite3.Error:
+                    pass
+                self._dead = True
+                return 0
+            written = len(totals) + len(estimates)
+            self.rows_flushed += written
+            self.flushes += 1
+            return written
+
+    def _flush_loop(self) -> None:
+        while True:
+            self._wake.wait(timeout=self.flush_interval_s)
+            self._wake.clear()
+            if self._closed:
+                break
+            self.flush()
+
+    # ------------------------------------------------------------------
+    # Fleet-wide admission state.
+    # ------------------------------------------------------------------
+    def admission_acquire(
+        self,
+        client: str,
+        rate: float,
+        burst: float,
+        tokens: float = 1.0,
+        now: float | None = None,
+    ) -> bool:
+        """Debit one client's *shared* token bucket; True when admitted.
+
+        The refill-and-debit runs in a single ``BEGIN IMMEDIATE``
+        transaction, so concurrent workers of a pre-fork pool serialise on
+        the row and the fleet admits at ``rate`` requests/s overall — not
+        ``rate`` per worker.  Uses ``time.monotonic()``, which shares its
+        epoch across processes on Linux.  Fails *open* on store errors: a
+        broken admission table must degrade to unlimited admission, not
+        reject every request.
+        """
+        if now is None:
+            now = time.monotonic()
+        with self._db_lock:
+            if self._dead or self._closed:
+                return True
+            try:
+                self._conn.execute("BEGIN IMMEDIATE")
+                row = self._conn.execute(
+                    "SELECT tokens, refilled_at FROM admission WHERE client = ?",
+                    (client,),
+                ).fetchone()
+                if row is None:
+                    available = float(burst)
+                else:
+                    stored, refilled_at = float(row[0]), float(row[1])
+                    available = min(
+                        float(burst), stored + max(0.0, now - refilled_at) * rate
+                    )
+                admitted = available >= tokens
+                if admitted:
+                    available -= tokens
+                self._conn.execute(
+                    "INSERT OR REPLACE INTO admission VALUES (?, ?, ?)",
+                    (client, available, now),
+                )
+                self._conn.execute("COMMIT")
+            except sqlite3.Error:
+                try:
+                    self._conn.execute("ROLLBACK")
+                except sqlite3.Error:
+                    pass
+                return True
+            return admitted
+
+    # ------------------------------------------------------------------
+    def count_rows(self) -> tuple[int, int]:
+        """(totals rows, estimate rows) currently committed to the store."""
+        with self._db_lock:
+            if self._dead or self._closed:
+                return (0, 0)
+            try:
+                totals = self._conn.execute("SELECT COUNT(*) FROM totals").fetchone()
+                estimates = self._conn.execute(
+                    "SELECT COUNT(*) FROM estimates"
+                ).fetchone()
+            except sqlite3.Error:
+                self._dead = True
+                return (0, 0)
+            return int(totals[0]), int(estimates[0])
+
+    def pending_rows(self) -> int:
+        """Rows queued but not yet flushed."""
+        with self._queue_lock:
+            return len(self._pending_totals) + len(self._pending_estimates)
+
+    @property
+    def dead(self) -> bool:
+        """True once a store error has disabled persistence (cache still works)."""
+        with self._db_lock:
+            return self._dead
+
+    def stats(self) -> dict[str, Any]:
+        with self._queue_lock:
+            pending = len(self._pending_totals) + len(self._pending_estimates)
+        with self._db_lock:
+            return {
+                "path": self.path,
+                "synchronous": self.synchronous,
+                "dead": self._dead,
+                "pending_rows": pending,
+                "rows_flushed": self.rows_flushed,
+                "flushes": self.flushes,
+                "reads": self.reads,
+                "read_rows": self.read_rows,
+            }
+
+    def close(self) -> None:
+        """Flush everything pending and close the connection."""
+        with self._queue_lock:
+            already = self._closed
+            self._closed = True
+        self._wake.set()
+        if not already:
+            self._flusher.join(timeout=5.0)
+        # The flusher exits without a final drain; write the tail ourselves.
+        with self._queue_lock:
+            totals, self._pending_totals = self._pending_totals, []
+            estimates, self._pending_estimates = self._pending_estimates, []
+        with self._db_lock:
+            if not self._dead:
+                try:
+                    if totals or estimates:
+                        self._conn.execute("BEGIN IMMEDIATE")
+                        if totals:
+                            self._conn.executemany(
+                                "INSERT OR REPLACE INTO totals VALUES (?, ?, ?, ?)",
+                                totals,
+                            )
+                        if estimates:
+                            self._conn.executemany(
+                                "INSERT OR REPLACE INTO estimates "
+                                "VALUES (?, ?, ?, ?)",
+                                estimates,
+                            )
+                        self._conn.execute("COMMIT")
+                        self.rows_flushed += len(totals) + len(estimates)
+                        self.flushes += 1
+                except sqlite3.Error:
+                    self._dead = True
+            try:
+                self._conn.close()
+            except sqlite3.Error:
+                pass
+
+    def __enter__(self) -> "EstimateCacheStore":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# The persistent cache: a shared in-memory LRU over the durable store.
+# ---------------------------------------------------------------------------
+class PersistentEstimateCache(SharedEstimateCache):
+    """A :class:`SharedEstimateCache` backed by an :class:`EstimateCacheStore`.
+
+    The in-memory LRU stays the first tier (a full memory hit never touches
+    SQLite); the store is consulted only on the miss path, *before* the
+    vectorized engine, and fed write-behind *after* it.  Rows restored from
+    the store are re-verified byte-exactly against the lookup's unquantised
+    ratio bytes — exactly like memory hits — and counted as hits (plus
+    ``store_hits``), so ``hits + misses`` still equals rows requested.
+
+    All hook overrides run under the inherited re-entrant lock (they are
+    only reached from the locked public entry points), so the thread-safety
+    contract of the shared cache is unchanged.
+    """
+
+    def __init__(
+        self,
+        store: EstimateCacheStore,
+        max_entries: int = SHARED_CACHE_MAX_ENTRIES,
+        decimals: int = 12,
+    ) -> None:
+        super().__init__(max_entries=max_entries, decimals=decimals)
+        self.store = store
+        self.store_hits = 0
+        self._fp_bytes: dict[Fingerprint, bytes] = {}
+
+    def _fingerprint_bytes(self, fingerprint: Fingerprint) -> bytes:
+        encoded = self._fp_bytes.get(fingerprint)
+        if encoded is None:
+            encoded = self._fp_bytes[fingerprint] = encode_fingerprint(fingerprint)
+        return encoded
+
+    # -- hooks (called under the inherited lock) -----------------------
+    def _restore_totals(
+        self,
+        fingerprint: Fingerprint,
+        bucket: dict[bytes, tuple[bytes, float]],
+        keys: list[tuple[bytes, bytes]],
+        missing: list[int],
+        out: np.ndarray,
+        offset: int,
+    ) -> tuple[list[int], int]:
+        found = self.store.fetch_totals(
+            self._fingerprint_bytes(fingerprint), [keys[i][0] for i in missing]
+        )
+        if not found:
+            return missing, 0
+        still_missing: list[int] = []
+        added = 0
+        for i in missing:
+            key, exact = keys[i]
+            row = found.get(key)
+            if row is None or row[0] != exact:
+                still_missing.append(i)
+                continue
+            out[offset + i] = row[1]
+            if key not in bucket:
+                added += 1
+            bucket[key] = (exact, row[1])
+            # _probe_totals already billed these rows as misses; they were
+            # answered without the engine, so they are hits after all.
+            self.hits += 1
+            self.misses -= 1
+            self.store_hits += 1
+        return still_missing, added
+
+    def _persist_totals(
+        self,
+        fingerprint: Fingerprint,
+        keys: list[tuple[bytes, bytes]],
+        rows: list[int],
+        totals: list[float],
+    ) -> None:
+        self.store.enqueue_totals(
+            self._fingerprint_bytes(fingerprint),
+            [(keys[i][0], keys[i][1], total) for i, total in zip(rows, totals)],
+        )
+
+    def _restore_estimate(
+        self, fingerprint: Fingerprint, key: bytes, exact: bytes
+    ) -> SeriesEstimate | None:
+        row = self.store.fetch_estimate(self._fingerprint_bytes(fingerprint), key)
+        if row is None or row[0] != exact:
+            return None
+        try:
+            estimate = decode_estimate(row[1])
+        except (ValueError, TypeError):
+            return None  # a malformed row reads as a miss, never crashes
+        self.store_hits += 1
+        return estimate
+
+    def _persist_estimate(
+        self, fingerprint: Fingerprint, key: bytes, exact: bytes,
+        estimate: SeriesEstimate,
+    ) -> None:
+        self.store.enqueue_estimate(
+            self._fingerprint_bytes(fingerprint), key, exact,
+            encode_estimate(estimate),
+        )
+
+    # -- public surface ------------------------------------------------
+    def flush(self) -> int:
+        """Flush the store's write-behind queue now; returns rows written."""
+        return self.store.flush()
+
+    def close(self) -> None:
+        """Flush pending rows and close the store (the cache stays usable)."""
+        self.store.close()
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            combined: dict[str, Any] = dict(super().stats())
+            combined["store_hits"] = self.store_hits
+            combined["store"] = self.store.stats()
+            return combined
+
+
+def open_persistent_cache(
+    path: str | os.PathLike[str],
+    *,
+    max_entries: int = SHARED_CACHE_MAX_ENTRIES,
+    decimals: int = 12,
+    on_error: Callable[[str], None] | None = None,
+    **store_kwargs: Any,
+) -> SharedEstimateCache:
+    """A :class:`PersistentEstimateCache` on ``path``, or a cold fallback.
+
+    A corrupted, unreadable or wrong-schema database must not take a serving
+    process down with it: the error is reported through ``on_error`` (when
+    given) and a plain in-memory :class:`SharedEstimateCache` is returned —
+    cold but fully functional.
+    """
+    try:
+        store = EstimateCacheStore(path, **store_kwargs)
+    except CacheStoreError as exc:
+        if on_error is not None:
+            on_error(str(exc))
+        return SharedEstimateCache(max_entries=max_entries, decimals=decimals)
+    return PersistentEstimateCache(store, max_entries=max_entries, decimals=decimals)

@@ -18,6 +18,12 @@ from ..costmodel.batch import (
     reset_shared_estimate_cache,
     shared_estimate_cache,
 )
+from ..costmodel.cachestore import (
+    CacheStoreError,
+    EstimateCacheStore,
+    PersistentEstimateCache,
+    open_persistent_cache,
+)
 from .api import (
     OPTIMIZE_SCHEMES,
     WHAT_IF,
@@ -42,11 +48,19 @@ from .protocol import (
     PlanSubmit,
     ProtocolError,
 )
+from .pool import PoolConfig, WorkerPool, build_worker_server, run_worker
 from .scheduler import MicroBatchScheduler, SchedulerError, TokenBucket
-from .server import PlanClient, PlanServer, PlanServerError, connect_plan_client
+from .server import (
+    PlanClient,
+    PlanServer,
+    PlanServerError,
+    clear_stale_unix_socket,
+    connect_plan_client,
+)
 from .service import PlanService, dedup_tasks
 
 __all__ = [
+    "CacheStoreError",
     "ERROR_ADMISSION",
     "ERROR_CODES",
     "ERROR_DEADLINE",
@@ -56,9 +70,11 @@ __all__ = [
     "ERROR_UNSUPPORTED_VERSION",
     "Envelope",
     "ErrorReply",
+    "EstimateCacheStore",
     "MicroBatchScheduler",
     "OPTIMIZE_SCHEMES",
     "PROTOCOL_VERSION",
+    "PersistentEstimateCache",
     "PlanClient",
     "PlanRequest",
     "PlanResponse",
@@ -67,16 +83,22 @@ __all__ = [
     "PlanServerError",
     "PlanService",
     "PlanSubmit",
+    "PoolConfig",
     "ProtocolError",
     "SUPPORTED_VERSIONS",
     "SchedulerError",
     "SharedEstimateCache",
     "TokenBucket",
     "WHAT_IF",
+    "WorkerPool",
     "WorkloadError",
+    "build_worker_server",
+    "clear_stale_unix_socket",
     "connect_plan_client",
     "dedup_tasks",
     "load_workload",
+    "open_persistent_cache",
     "reset_shared_estimate_cache",
+    "run_worker",
     "shared_estimate_cache",
 ]

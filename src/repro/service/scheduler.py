@@ -144,6 +144,13 @@ class MicroBatchScheduler:
     admission_rate / admission_burst:
         Token-bucket admission per client; ``None`` disables admission
         control.
+    admission_controller:
+        Externalised admission: a callable mapping a client id to an
+        admit/reject decision, replacing the in-process token buckets.
+        The pre-fork worker pool injects the persistent store's shared
+        bucket here so admission holds fleet-wide (every worker debits the
+        same bucket), not per process.  It may block (e.g. on SQLite) —
+        the scheduler calls it through the loop's thread-pool executor.
     default_timeout_s:
         Deadline applied to submissions that do not carry their own.
     use_executor:
@@ -162,6 +169,7 @@ class MicroBatchScheduler:
         weights: dict[str, float] | None = None,
         admission_rate: float | None = None,
         admission_burst: float | None = None,
+        admission_controller: Callable[[str], bool] | None = None,
         default_timeout_s: float | None = None,
         use_executor: bool = True,
         clock: Callable[[], float] = time.monotonic,
@@ -180,6 +188,11 @@ class MicroBatchScheduler:
             math.isfinite(admission_rate) and admission_rate > 0.0
         ):
             raise ValueError("admission_rate must be positive and finite")
+        if admission_controller is not None and admission_rate is not None:
+            raise ValueError(
+                "pass either admission_controller (shared admission state) "
+                "or admission_rate (in-process token buckets), not both"
+            )
         if admission_burst is not None:
             if admission_rate is None:
                 raise ValueError("admission_burst requires admission_rate")
@@ -201,6 +214,7 @@ class MicroBatchScheduler:
         self.weights: dict[str, float] = dict(weights or {})
         self.admission_rate = admission_rate
         self.admission_burst = admission_burst
+        self._admission_controller = admission_controller
         self.default_timeout_s = default_timeout_s
         self.use_executor = use_executor
         self._clock = clock
@@ -282,7 +296,23 @@ class MicroBatchScheduler:
         if self._task is None or self._closed:
             raise SchedulerError(ERROR_SHUTDOWN, "scheduler is not running")
         client = client_id or "anonymous"
-        if self.admission_rate is not None:
+        if self._admission_controller is not None:
+            # Shared (fleet-wide) admission may hit disk: keep it off the
+            # event loop.  Re-check liveness afterwards — the scheduler can
+            # close while the decision is in flight.
+            admitted = await asyncio.get_running_loop().run_in_executor(
+                None, self._admission_controller, client
+            )
+            if self._task is None or self._closed:
+                raise SchedulerError(ERROR_SHUTDOWN, "scheduler is not running")
+            if not admitted:
+                self.requests_rejected += 1
+                raise SchedulerError(
+                    ERROR_ADMISSION,
+                    f"client {client!r} rejected by shared admission control; "
+                    "retry later",
+                )
+        elif self.admission_rate is not None:
             bucket = self._buckets.get(client)
             if bucket is None:
                 bucket = self._buckets[client] = TokenBucket(
@@ -483,5 +513,6 @@ class MicroBatchScheduler:
             "max_batch": self.max_batch,
             "weights": dict(self.weights),
             "default_weight": self.default_weight,
+            "shared_admission": self._admission_controller is not None,
             "service": self.service.stats(),
         }

@@ -25,7 +25,11 @@ code when the server answers with one.
 from __future__ import annotations
 
 import asyncio
+import errno
 import itertools
+import os
+import socket
+import stat
 from typing import Any, Sequence
 
 from .api import PlanRequest
@@ -51,11 +55,88 @@ from .protocol import (
 from .scheduler import MicroBatchScheduler, SchedulerError
 from .service import PlanService
 
-__all__ = ["PlanClient", "PlanServer", "PlanServerError", "connect_plan_client"]
+__all__ = [
+    "PlanClient",
+    "PlanServer",
+    "PlanServerError",
+    "clear_stale_unix_socket",
+    "connect_plan_client",
+]
 
 #: Hard per-line bound; a line longer than this is a protocol violation, not
 #: a workload (the largest legitimate submit is a few hundred steps).
 MAX_LINE_BYTES = 4 * 1024 * 1024
+
+
+def clear_stale_unix_socket(path: str) -> bool:
+    """Unlink a dead predecessor's socket file so ``path`` can be re-bound.
+
+    A crashed server (SIGKILL, OOM, power loss) leaves its unix socket file
+    behind, and every restart then fails with ``EADDRINUSE`` until someone
+    runs ``rm`` by hand.  The file alone does not prove a live server, so
+    this probes it: a refused connection means nobody is listening and the
+    file is stale garbage — unlink it.  A *successful* connection means the
+    address genuinely is in use; the file is left alone and the caller's
+    bind fails with the honest ``EADDRINUSE``.
+
+    Returns True when a stale socket file was removed.  Non-socket files are
+    never unlinked (a path collision with a regular file is a configuration
+    error the bind should surface, not something to delete).
+    """
+    try:
+        mode = os.lstat(path).st_mode
+    except OSError:
+        return False  # nothing there (or unreadable): let bind proceed
+    if not stat.S_ISSOCK(mode):
+        return False
+    probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    try:
+        probe.settimeout(0.5)
+        probe.connect(path)
+    except (ConnectionRefusedError, TimeoutError):
+        pass  # dead socket: no listener behind the file
+    except OSError as exc:
+        if exc.errno not in (errno.ECONNREFUSED, errno.ENOENT):
+            return False  # unexpected failure: do not guess, do not unlink
+        if exc.errno == errno.ENOENT:
+            return False  # raced away already
+    else:
+        return False  # a live server answered: the address is taken
+    finally:
+        probe.close()
+    try:
+        os.unlink(path)
+    except OSError:
+        return False
+    return True
+
+
+def _bind_unix_listener(path: str) -> socket.socket:
+    """Probe-and-clear a stale predecessor, then bind ``path`` ourselves.
+
+    Binding explicitly rather than letting asyncio do it matters: stdlib
+    ``create_unix_server`` unlinks *any* pre-existing socket file at the
+    path — including a live listener's — whereas a raw bind keeps the
+    honest ``EADDRINUSE`` for a genuinely taken address.  (Socket creation
+    and a unix-path bind are instantaneous syscalls, not blocking I/O.)
+    """
+    clear_stale_unix_socket(path)
+    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    try:
+        sock.bind(path)
+    except OSError:
+        sock.close()
+        raise
+    return sock
+
+
+def _unlink_unix_socket(path: str) -> None:
+    """Best-effort removal of our own socket file on shutdown."""
+    try:
+        if stat.S_ISSOCK(os.lstat(path).st_mode):
+            os.unlink(path)
+    except OSError:
+        pass
 
 
 class PlanServerError(Exception):
@@ -103,10 +184,17 @@ class PlanServer:
 
     # ------------------------------------------------------------------
     async def start_unix(self, path: str) -> None:
-        """Listen on a unix domain socket at ``path``."""
+        """Listen on a unix domain socket at ``path``.
+
+        A stale socket file left by a crashed predecessor is probed and
+        unlinked first (see :func:`clear_stale_unix_socket`), so an unclean
+        restart binds cleanly; a path with a *live* listener still fails
+        with ``EADDRINUSE``.
+        """
         await self.scheduler.start()
         server = await asyncio.start_unix_server(
-            self._handle_connection, path=path, limit=MAX_LINE_BYTES
+            self._handle_connection, sock=_bind_unix_listener(path),
+            limit=MAX_LINE_BYTES,
         )
         self._servers.append(server)
         self.unix_path = path
@@ -120,6 +208,34 @@ class PlanServer:
         self._servers.append(server)
         sockname = server.sockets[0].getsockname()
         self.tcp_address = (sockname[0], sockname[1])
+
+    async def adopt_connection(self, sock: "socket.socket") -> None:
+        """Serve one already-accepted connection (pre-fork worker path).
+
+        The worker pool's router accepts connections in the parent process
+        and ships the connected file descriptors to workers over
+        ``SCM_RIGHTS``; the worker wraps each adopted socket in asyncio
+        streams here and serves it exactly like a connection accepted by
+        :meth:`start_unix`/:meth:`start_tcp` — same handler, same scheduler,
+        same ``close()`` cancellation path.  Returns once the handler task
+        is spawned (not when the connection ends).
+        """
+        await self.scheduler.start()
+        try:
+            reader, writer = await asyncio.open_connection(
+                sock=sock, limit=MAX_LINE_BYTES
+            )
+        except OSError:
+            sock.close()
+            return
+        task = asyncio.get_running_loop().create_task(
+            self._handle_connection(reader, writer)
+        )
+        # _handle_connection registers itself in _connections on first run,
+        # but close() may win that race — track the task from birth so an
+        # adopted connection can never outlive a closed server.
+        self._connections.add(task)
+        task.add_done_callback(self._connections.discard)
 
     async def close(self) -> None:
         """Stop listening, drop connections, fail queued work structurally."""
@@ -142,6 +258,11 @@ class PlanServer:
             await asyncio.gather(*self._handlers, return_exceptions=True)
         self._handlers.clear()
         await self.scheduler.close()
+        if self.unix_path is not None:
+            # Clean shutdowns must not leave the socket file behind — that
+            # is exactly the stale-file mess start_unix has to mop up.
+            _unlink_unix_socket(self.unix_path)
+            self.unix_path = None
 
     async def __aenter__(self) -> "PlanServer":
         return self

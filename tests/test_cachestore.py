@@ -1,0 +1,370 @@
+"""Persistent estimate-cache store (ISSUE 7 tentpole).
+
+The properties pinned here:
+
+* codecs are **bit-exact**: an estimate written through the JSON codec reads
+  back IEEE-754-identical, so serving from the store cannot perturb plans;
+* a cache restarted against a warmed store answers from the store — hits
+  (and ``store_hits``) are billed exactly as if the rows were in memory;
+* byte-exact verification survives persistence: a stored neighbour that
+  collides at the quantisation decimal is recomputed, never served;
+* corruption degrades instead of crashing — a bad database falls back to a
+  cold in-memory cache, a store error after open marks the store dead and
+  every later call fail-softs, a malformed row reads as a miss;
+* the shared admission table debits one token bucket per client with
+  deterministic refill arithmetic.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+
+import numpy as np
+import pytest
+
+from repro.costmodel import StepCost, estimate_series, steps_fingerprint
+from repro.costmodel.batch import EstimateCache, SharedEstimateCache
+from repro.costmodel.cachestore import (
+    SCHEMA_VERSION,
+    CacheStoreError,
+    EstimateCacheStore,
+    PersistentEstimateCache,
+    decode_estimate,
+    encode_estimate,
+    encode_fingerprint,
+    open_persistent_cache,
+)
+
+
+def random_steps(rng: np.random.Generator, n: int) -> list[StepCost]:
+    return [
+        StepCost(
+            f"s{i}",
+            int(rng.integers(10_000, 200_000)),
+            cpu_unit_s=float(rng.uniform(1e-9, 5e-8)),
+            gpu_unit_s=float(rng.uniform(1e-9, 5e-8)),
+            intermediate_bytes_per_tuple=float(rng.uniform(0.0, 16.0)),
+        )
+        for i in range(n)
+    ]
+
+
+def ratio_matrix(rng: np.random.Generator, m: int, n: int) -> np.ndarray:
+    return rng.uniform(0.05, 0.95, size=(m, n))
+
+
+@pytest.fixture
+def store_path(tmp_path) -> str:
+    return os.path.join(tmp_path, "cache.db")
+
+
+# ---------------------------------------------------------------------------
+# Codecs.
+# ---------------------------------------------------------------------------
+class TestCodecs:
+    def test_fingerprint_encoding_is_canonical_json(self):
+        steps = random_steps(np.random.default_rng(0), 4)
+        encoded = encode_fingerprint(steps_fingerprint(steps))
+        assert isinstance(encoded, bytes)
+        # Deterministic: the same series encodes to the same key bytes.
+        assert encoded == encode_fingerprint(steps_fingerprint(steps))
+        other = encode_fingerprint(steps_fingerprint(steps[:3]))
+        assert other != encoded
+
+    def test_estimate_round_trip_is_bit_exact(self):
+        rng = np.random.default_rng(1)
+        steps = random_steps(rng, 5)
+        reference = estimate_series(steps, [float(r) for r in rng.uniform(0.1, 0.9, 5)])
+        clone = decode_estimate(encode_estimate(reference))
+        assert clone.ratios == reference.ratios
+        assert clone.cpu_step_s == reference.cpu_step_s
+        assert clone.gpu_step_s == reference.gpu_step_s
+        assert clone.cpu_delay_s == reference.cpu_delay_s
+        assert clone.gpu_delay_s == reference.gpu_delay_s
+        assert clone.intermediate_bytes == reference.intermediate_bytes
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "[]",
+            "42",
+            '{"ratios": 3}',
+            '{"ratios": [0.5]}',  # missing the step vectors
+            '{"ratios": [0.5], "cpu_step_s": "no", "gpu_step_s": [], '
+            '"cpu_delay_s": [], "gpu_delay_s": []}',
+        ],
+    )
+    def test_decode_rejects_malformed_rows(self, text):
+        with pytest.raises(ValueError):
+            decode_estimate(text)
+
+
+# ---------------------------------------------------------------------------
+# The store itself.
+# ---------------------------------------------------------------------------
+class TestEstimateCacheStore:
+    def test_totals_round_trip_chunked(self, store_path):
+        # More rows than one SELECT chunk (400) to cross the IN-list split.
+        rows = [
+            (f"k{i:04d}".encode(), f"e{i:04d}".encode(), float(i) * 0.5)
+            for i in range(900)
+        ]
+        with EstimateCacheStore(store_path) as store:
+            store.enqueue_totals(b"fp", [(k, e, t) for k, e, t in rows])
+            assert store.flush() == 900
+            found = store.fetch_totals(b"fp", [k for k, _, _ in rows])
+            assert len(found) == 900
+            assert found[b"k0007"] == (b"e0007", 3.5)
+            # Unknown keys and foreign fingerprints read as misses.
+            assert store.fetch_totals(b"fp", [b"nope"]) == {}
+            assert store.fetch_totals(b"other", [b"k0007"]) == {}
+            assert store.count_rows() == (900, 0)
+
+    def test_estimate_row_round_trip(self, store_path):
+        with EstimateCacheStore(store_path) as store:
+            store.enqueue_estimate(b"fp", b"key", b"exact", '{"x": 1}')
+            store.flush()
+            assert store.fetch_estimate(b"fp", b"key") == (b"exact", '{"x": 1}')
+            assert store.fetch_estimate(b"fp", b"other") is None
+            assert store.count_rows() == (0, 1)
+
+    def test_close_flushes_the_write_behind_tail(self, store_path):
+        store = EstimateCacheStore(store_path, flush_interval_s=3600.0)
+        store.enqueue_totals(b"fp", [(b"k", b"e", 1.25)])
+        assert store.pending_rows() == 1
+        store.close()  # no explicit flush: close() must write the tail
+        with EstimateCacheStore(store_path) as reopened:
+            assert reopened.fetch_totals(b"fp", [b"k"]) == {b"k": (b"e", 1.25)}
+
+    def test_backlog_wakes_the_flusher(self, store_path):
+        import time
+
+        with EstimateCacheStore(
+            store_path, flush_interval_s=3600.0, flush_batch=4
+        ) as store:
+            store.enqueue_totals(
+                b"fp", [(f"k{i}".encode(), b"e", float(i)) for i in range(5)]
+            )
+            deadline = time.monotonic() + 5.0
+            while store.pending_rows() and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert store.pending_rows() == 0
+            assert store.rows_flushed == 5
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"flush_interval_s": 0.0},
+            {"flush_batch": 0},
+            {"synchronous": "EXTREME"},
+        ],
+    )
+    def test_constructor_validation(self, store_path, kwargs):
+        with pytest.raises(ValueError):
+            EstimateCacheStore(store_path, **kwargs)
+
+    def test_wrong_schema_version_is_refused(self, store_path):
+        EstimateCacheStore(store_path).close()
+        conn = sqlite3.connect(store_path)
+        conn.execute(
+            "UPDATE meta SET value = ? WHERE key = 'schema_version'",
+            (str(SCHEMA_VERSION + 1),),
+        )
+        conn.commit()
+        conn.close()
+        with pytest.raises(CacheStoreError, match="schema version"):
+            EstimateCacheStore(store_path)
+
+    def test_corrupt_file_is_refused(self, store_path):
+        with open(store_path, "wb") as fh:
+            fh.write(b"this is not a sqlite database at all\x00" * 4)
+        with pytest.raises(CacheStoreError):
+            EstimateCacheStore(store_path)
+
+    def test_dead_store_fail_softs_everywhere(self, store_path):
+        store = EstimateCacheStore(store_path)
+        store.enqueue_totals(b"fp", [(b"k", b"e", 1.0)])
+        store.flush()
+        # Simulate the database dying under a live server: every later call
+        # must degrade to a miss / no-op, never raise.
+        store._conn.close()
+        assert store.fetch_totals(b"fp", [b"k"]) == {}
+        assert store.dead
+        assert store.fetch_estimate(b"fp", b"k") is None
+        store.enqueue_totals(b"fp", [(b"k2", b"e", 2.0)])
+        assert store.flush() == 0
+        assert store.count_rows() == (0, 0)
+        assert store.admission_acquire("c", rate=1.0, burst=1.0) is True  # fails open
+        assert store.stats()["dead"] is True
+        store.close()
+
+    def test_admission_bucket_refill_and_debit(self, store_path):
+        with EstimateCacheStore(store_path) as store:
+            acquire = lambda now: store.admission_acquire(
+                "alice", rate=1.0, burst=2.0, now=now
+            )
+            assert acquire(100.0) is True  # burst grants two
+            assert acquire(100.0) is True
+            assert acquire(100.0) is False  # bucket empty
+            assert acquire(100.5) is False  # half a token is not one
+            assert acquire(101.5) is True  # 1.5s * 1/s refilled past one
+            # Buckets are per client: bob's burst is untouched by alice.
+            assert store.admission_acquire("bob", rate=1.0, burst=2.0, now=100.0)
+
+    def test_admission_burst_caps_refill(self, store_path):
+        with EstimateCacheStore(store_path) as store:
+            assert store.admission_acquire("c", rate=10.0, burst=1.0, now=0.0)
+            assert not store.admission_acquire("c", rate=10.0, burst=1.0, now=0.0)
+            # A long idle period refills to burst, not to rate * elapsed.
+            assert store.admission_acquire("c", rate=10.0, burst=1.0, now=1000.0)
+            assert not store.admission_acquire("c", rate=10.0, burst=1.0, now=1000.0)
+
+
+# ---------------------------------------------------------------------------
+# The persistent cache over the store.
+# ---------------------------------------------------------------------------
+class TestPersistentEstimateCache:
+    def test_warm_restart_serves_totals_from_the_store(self, store_path):
+        rng = np.random.default_rng(7)
+        steps = random_steps(rng, 5)
+        matrix = ratio_matrix(rng, 24, 5)
+
+        first = PersistentEstimateCache(EstimateCacheStore(store_path))
+        warm = first.totals(steps, matrix)
+        assert first.misses == 24 and first.store_hits == 0
+        first.close()
+
+        # A brand-new process: empty memory tier, warmed store.
+        second = PersistentEstimateCache(EstimateCacheStore(store_path))
+        restored = second.totals(steps, matrix)
+        assert np.array_equal(restored, warm)  # bit-identical
+        assert second.hits == 24
+        assert second.misses == 0
+        assert second.store_hits == 24
+        # The rows are now in the memory tier: a third call never reads SQLite.
+        reads_before = second.store.reads
+        again = second.totals(steps, matrix)
+        assert np.array_equal(again, warm)
+        assert second.store.reads == reads_before
+        # Parity with a plain in-memory cache over the same inputs.
+        assert np.array_equal(warm, SharedEstimateCache().totals(steps, matrix))
+        second.close()
+
+    def test_warm_restart_serves_estimates_from_the_store(self, store_path):
+        rng = np.random.default_rng(8)
+        steps = random_steps(rng, 4)
+        ratios = [float(r) for r in rng.uniform(0.1, 0.9, 4)]
+
+        first = PersistentEstimateCache(EstimateCacheStore(store_path))
+        warm = first.estimate(steps, ratios)
+        first.close()
+
+        second = PersistentEstimateCache(EstimateCacheStore(store_path))
+        restored = second.estimate(steps, ratios)
+        assert second.hits == 1 and second.misses == 0 and second.store_hits == 1
+        assert restored.ratios == warm.ratios
+        assert restored.cpu_step_s == warm.cpu_step_s
+        assert restored.gpu_step_s == warm.gpu_step_s
+        assert restored.cpu_delay_s == warm.cpu_delay_s
+        assert restored.gpu_delay_s == warm.gpu_delay_s
+        assert restored.intermediate_bytes == warm.intermediate_bytes
+        second.close()
+
+    def test_colliding_quantised_rows_recomputed_not_served(self, store_path):
+        rng = np.random.default_rng(9)
+        steps = random_steps(rng, 3)
+        base = np.full((1, 3), 0.5)
+        # Differs only past the 12th decimal: same quantised store key,
+        # different exact bytes — the store row must NOT be served.
+        nudged = base + 1e-15
+        assert np.array_equal(np.round(base, 12), np.round(nudged, 12))
+        assert base.tobytes() != nudged.tobytes()
+
+        first = PersistentEstimateCache(EstimateCacheStore(store_path))
+        first.totals(steps, base)
+        first.close()
+
+        second = PersistentEstimateCache(EstimateCacheStore(store_path))
+        result = second.totals(steps, nudged)
+        assert second.store_hits == 0  # exact-bytes check rejected the row
+        assert second.misses == 1
+        assert np.array_equal(result, SharedEstimateCache().totals(steps, nudged))
+        second.close()
+
+    def test_malformed_store_row_reads_as_a_miss(self, store_path):
+        rng = np.random.default_rng(10)
+        steps = random_steps(rng, 4)
+        ratios = [float(r) for r in rng.uniform(0.1, 0.9, 4)]
+
+        first = PersistentEstimateCache(EstimateCacheStore(store_path))
+        warm = first.estimate(steps, ratios)
+        first.close()
+        conn = sqlite3.connect(store_path)
+        conn.execute("UPDATE estimates SET estimate = '{\"broken'")
+        conn.commit()
+        conn.close()
+
+        second = PersistentEstimateCache(EstimateCacheStore(store_path))
+        recomputed = second.estimate(steps, ratios)  # must not raise
+        assert second.store_hits == 0
+        assert second.misses == 1
+        assert recomputed.ratios == warm.ratios
+        assert recomputed.cpu_step_s == warm.cpu_step_s
+        second.close()
+
+    def test_stats_nest_the_store_counters(self, store_path):
+        cache = PersistentEstimateCache(EstimateCacheStore(store_path))
+        rng = np.random.default_rng(11)
+        steps = random_steps(rng, 3)
+        cache.totals(steps, ratio_matrix(rng, 4, 3))
+        stats = cache.stats()
+        assert stats["store_hits"] == 0
+        assert stats["store"]["path"] == store_path
+        assert stats["store"]["dead"] is False
+        assert stats["misses"] == 4
+        cache.close()
+
+    def test_flush_drains_the_write_behind_queue(self, store_path):
+        cache = PersistentEstimateCache(
+            EstimateCacheStore(store_path, flush_interval_s=3600.0)
+        )
+        rng = np.random.default_rng(12)
+        steps = random_steps(rng, 3)
+        cache.totals(steps, ratio_matrix(rng, 6, 3))
+        assert cache.flush() + cache.store.rows_flushed >= 6
+        assert cache.store.count_rows()[0] == 6
+        cache.close()
+
+
+# ---------------------------------------------------------------------------
+# The fail-soft factory.
+# ---------------------------------------------------------------------------
+class TestOpenPersistentCache:
+    def test_happy_path_returns_persistent_cache(self, store_path):
+        cache = open_persistent_cache(store_path)
+        assert isinstance(cache, PersistentEstimateCache)
+        cache.close()
+
+    def test_corrupt_database_falls_back_to_cold_in_memory_cache(self, store_path):
+        with open(store_path, "wb") as fh:
+            fh.write(b"garbage" * 64)
+        errors: list[str] = []
+        cache = open_persistent_cache(store_path, on_error=errors.append)
+        assert type(cache) is SharedEstimateCache  # cold but functional
+        assert len(errors) == 1 and store_path in errors[0]
+        rng = np.random.default_rng(13)
+        steps = random_steps(rng, 3)
+        matrix = ratio_matrix(rng, 4, 3)
+        assert np.array_equal(
+            cache.totals(steps, matrix), SharedEstimateCache().totals(steps, matrix)
+        )
+
+    def test_wrong_schema_falls_back_too(self, store_path):
+        EstimateCacheStore(store_path).close()
+        conn = sqlite3.connect(store_path)
+        conn.execute("UPDATE meta SET value = '999' WHERE key = 'schema_version'")
+        conn.commit()
+        conn.close()
+        cache = open_persistent_cache(store_path)
+        assert type(cache) is SharedEstimateCache

@@ -2,7 +2,14 @@
 
 from __future__ import annotations
 
+import asyncio
 import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
 
 import pytest
 
@@ -405,3 +412,111 @@ class TestServeCommand:
         assert main(["serve", "--unix", "/tmp/p.sock",
                      "--max-batch", "0"]) == 2
         assert "invalid serve configuration" in capsys.readouterr().err
+
+
+class TestServePoolFlags:
+    def test_parses_workers_and_cache_store(self):
+        args = build_parser().parse_args(
+            ["serve", "--unix", "/tmp/p.sock", "--workers", "4",
+             "--cache-store", "/tmp/c.db"]
+        )
+        assert args.workers == 4
+        assert args.cache_store == "/tmp/c.db"
+
+    def test_workers_default_to_single_process(self):
+        args = build_parser().parse_args(["serve", "--unix", "/tmp/p.sock"])
+        assert args.workers == 1
+        assert args.cache_store is None
+
+    def test_zero_workers_exit_2(self, capsys):
+        assert main(["serve", "--unix", "/tmp/p.sock", "--workers", "0"]) == 2
+        assert "--workers must be at least 1" in capsys.readouterr().err
+
+    def test_shared_cache_conflicts_with_cache_store(self, tmp_path, capsys):
+        assert main(
+            ["serve", "--unix", "/tmp/p.sock", "--shared-cache",
+             "--cache-store", str(tmp_path / "c.db")]
+        ) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+
+class TestServeSigterm:
+    """ISSUE 7 satellite: a supervisor's SIGTERM must drain the server —
+    clean exit 0, 'plan server stopped' on stderr, socket file unlinked —
+    not an abrupt death mid-batch."""
+
+    @staticmethod
+    def _spawn(sock_path, *extra):
+        import repro
+
+        src_dir = str(Path(repro.__file__).resolve().parents[1])
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+        return subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--unix", sock_path,
+             *extra],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=env,
+        )
+
+    @staticmethod
+    def _await_socket(proc, sock_path, timeout_s=20.0):
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            if os.path.exists(sock_path):
+                return
+            if proc.poll() is not None:
+                raise AssertionError(
+                    f"server died during startup: {proc.stderr.read()}"
+                )
+            time.sleep(0.05)
+        proc.kill()
+        raise AssertionError("server never bound its unix socket")
+
+    def test_sigterm_drains_single_process_server(self, tmp_path):
+        sock_path = os.path.join(tmp_path, "serve.sock")
+        proc = self._spawn(sock_path)
+        try:
+            self._await_socket(proc, sock_path)
+            proc.send_signal(signal.SIGTERM)
+            _, err = proc.communicate(timeout=20)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+        assert proc.returncode == 0
+        assert "plan server stopped" in err
+        assert not os.path.exists(sock_path)  # unlinked on close
+
+    def test_sigterm_drains_worker_pool_after_serving(self, tmp_path):
+        sock_path = os.path.join(tmp_path, "pool.sock")
+        proc = self._spawn(sock_path, "--workers", "2")
+        try:
+            self._await_socket(proc, sock_path)
+
+            # Prove the pool actually serves before it is told to die.
+            async def drive():
+                from repro.service import PlanRequest, connect_plan_client
+                from repro.costmodel import StepCost
+
+                client = await connect_plan_client(path=sock_path)
+                try:
+                    steps = (StepCost("s0", 50_000, cpu_unit_s=2e-8,
+                                      gpu_unit_s=1e-8),
+                             StepCost("s1", 80_000, cpu_unit_s=1e-8,
+                                      gpu_unit_s=3e-8))
+                    result = await client.submit(
+                        PlanRequest(steps=steps, scheme="PL", request_id="q0")
+                    )
+                    return result.response.request_id
+                finally:
+                    await client.close()
+
+            assert asyncio.run(drive()) == "q0"
+            proc.send_signal(signal.SIGTERM)
+            _, err = proc.communicate(timeout=20)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+        assert proc.returncode == 0
+        assert "(2 workers)" in err
+        assert "plan server stopped" in err
+        assert not os.path.exists(sock_path)

@@ -434,6 +434,65 @@ class TestLRUEviction:
             EstimateCache(max_entries=0)
 
 
+class TestRunawayEviction:
+    """Regression (ISSUE 7 satellite): a single series whose bucket alone
+    exceeds the budget used to trigger LRU-first eviction, flushing every
+    *fitting* series' rows before finally reaching the oversized bucket —
+    one runaway workload left the cache cold for everyone."""
+
+    def test_runaway_bucket_dropped_directly_fitting_series_survive(self):
+        rng = np.random.default_rng(46)
+        fitting = [random_steps(rng, 3) for _ in range(3)]
+        matrices = [rng.uniform(0, 1, size=(20, 3)) for _ in range(3)]
+        runaway = random_steps(rng, 3)
+        cache = EstimateCache(max_entries=100)
+
+        for steps, matrix in zip(fitting, matrices):
+            cache.totals(steps, matrix)
+        assert len(cache) == 60
+
+        # 150 rows in one series: bigger than the whole budget.  The fix
+        # drops this bucket itself instead of evicting LRU-first through
+        # every fitting series.
+        cache.totals(runaway, rng.uniform(0, 1, size=(150, 3)))
+
+        assert len(cache) <= 100
+        cached = cache.fingerprints()
+        assert steps_fingerprint(runaway) not in cached
+        for steps in fitting:
+            assert steps_fingerprint(steps) in cached
+
+        # The fitting series answer from cache — zero new misses.
+        misses = cache.misses
+        for steps, matrix in zip(fitting, matrices):
+            cache.totals(steps, matrix)
+        assert cache.misses == misses
+
+    def test_runaway_estimate_bucket_dropped_directly(self):
+        # The estimate view grows one row per insert, so the oversize
+        # trigger fires on the insert that pushes the bucket past the
+        # bound: the bucket is dropped whole, not trimmed row by row.
+        rng = np.random.default_rng(47)
+        runaway = random_steps(rng, 2)
+        cache = EstimateCache(max_entries=10)
+        for k in range(12):
+            cache.estimate(runaway, [k / 100.0] * 2)
+            assert len(cache) <= 10
+        # Insert 11 pushed the bucket past the bound and dropped it whole;
+        # insert 12 restarted it from scratch with a single row.
+        assert len(cache) == 1
+
+    def test_runaway_values_still_correct_when_recomputed(self):
+        rng = np.random.default_rng(48)
+        runaway = random_steps(rng, 3)
+        matrix = rng.uniform(0, 1, size=(40, 3))
+        cache = EstimateCache(max_entries=20)
+        first = cache.totals(runaway, matrix)
+        again = cache.totals(runaway, matrix)  # bucket was dropped: recompute
+        assert np.array_equal(first, again)
+        assert np.array_equal(first, batch_totals(runaway, matrix))
+
+
 class TestMonteCarloRegressions:
     def test_relative_error_nan_for_degenerate_measurement(self):
         sample = MonteCarloSample(ratios=[0.5], estimated_s=1.0, measured_s=0.0)

@@ -16,6 +16,7 @@ from __future__ import annotations
 import asyncio
 import json
 import os
+import socket
 import tempfile
 import time
 
@@ -43,6 +44,7 @@ from repro.service import (
     SharedEstimateCache,
     TokenBucket,
     WorkloadError,
+    clear_stale_unix_socket,
     connect_plan_client,
     dedup_tasks,
 )
@@ -945,3 +947,83 @@ class TestPlanServer:
                 await connect_plan_client("/tmp/x.sock", host="h", port=1)
 
         asyncio.run(go())
+
+
+# ---------------------------------------------------------------------------
+# Stale unix socket files (ISSUE 7 satellite: restart after crash).
+# ---------------------------------------------------------------------------
+class TestStaleUnixSocket:
+    """A server killed with SIGKILL leaves its socket file behind; the next
+    start on the same path must reclaim it — but never steal a live
+    listener's socket, and never unlink a non-socket file."""
+
+    def test_restart_after_crash_reclaims_the_socket(self):
+        with tempfile.TemporaryDirectory(dir="/tmp") as tmp:
+            path = os.path.join(tmp, "plan.sock")
+            # Simulate the crash: bind, then die without unlinking.
+            corpse = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            corpse.bind(path)
+            corpse.close()
+            assert os.path.exists(path)
+
+            async def go():
+                server = PlanServer(service=fresh_service())
+                await server.start_unix(path)  # would EADDRINUSE before the fix
+                try:
+                    client = await connect_plan_client(path)
+                    result = await client.submit(mixed_requests(1, 1, seed=31)[0])
+                    await client.close()
+                    return result
+                finally:
+                    await server.close()
+
+            result = asyncio.run(go())
+            assert result.response.request_id == "q00"
+            assert not os.path.exists(path)  # close() unlinked it
+
+    def test_probe_unlinks_only_dead_sockets(self):
+        with tempfile.TemporaryDirectory(dir="/tmp") as tmp:
+            path = os.path.join(tmp, "plan.sock")
+            assert clear_stale_unix_socket(path) is False  # nothing there
+            corpse = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            corpse.bind(path)
+            corpse.close()
+            assert clear_stale_unix_socket(path) is True
+            assert not os.path.exists(path)
+
+    def test_live_listener_is_not_stolen(self):
+        with tempfile.TemporaryDirectory(dir="/tmp") as tmp:
+            path = os.path.join(tmp, "plan.sock")
+
+            async def go():
+                server = PlanServer(service=fresh_service())
+                await server.start_unix(path)
+                try:
+                    # The probe connects, sees a live server, leaves the
+                    # file alone; a second bind still fails loudly.
+                    assert clear_stale_unix_socket(path) is False
+                    assert os.path.exists(path)
+                    second = PlanServer(service=fresh_service())
+                    with pytest.raises(OSError):
+                        await second.start_unix(path)
+                finally:
+                    await server.close()
+
+            asyncio.run(go())
+
+    def test_non_socket_file_is_never_unlinked(self):
+        with tempfile.TemporaryDirectory(dir="/tmp") as tmp:
+            path = os.path.join(tmp, "plan.sock")
+            with open(path, "w") as fh:
+                fh.write("precious data, not a socket")
+            assert clear_stale_unix_socket(path) is False
+            assert os.path.exists(path)
+
+            async def go():
+                server = PlanServer(service=fresh_service())
+                with pytest.raises(OSError):
+                    await server.start_unix(path)
+
+            asyncio.run(go())
+            with open(path) as fh:
+                assert fh.read() == "precious data, not a socket"
