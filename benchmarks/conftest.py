@@ -40,6 +40,10 @@ BENCH_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_5.json"
 #: artifact can gate CI without re-running the figure benchmarks.
 BENCH7_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_7.json"
 
+#: The parallel-join gates (process-pool pair execution, PR 8) record their
+#: measured serial-vs-parallel speedups and robustness counters here.
+BENCH8_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_8.json"
+
 
 @pytest.fixture(scope="session")
 def bench_tuples() -> int:
@@ -55,6 +59,9 @@ def _fresh_report() -> None:
         json.dumps({"bench_tuples": BENCH_TUPLES, "gates": {}}, indent=2) + "\n"
     )
     BENCH7_JSON_PATH.write_text(
+        json.dumps({"cpu_count": os.cpu_count(), "gates": {}}, indent=2) + "\n"
+    )
+    BENCH8_JSON_PATH.write_text(
         json.dumps({"cpu_count": os.cpu_count(), "gates": {}}, indent=2) + "\n"
     )
 
@@ -94,6 +101,21 @@ def bench_json7():
             data = {"cpu_count": os.cpu_count(), "gates": {}}
         data.setdefault("gates", {}).setdefault(name, {}).update(fields)
         BENCH7_JSON_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+    return record
+
+
+@pytest.fixture(scope="session")
+def bench_json8():
+    """Like ``bench_json`` but for the parallel-join artifact ``BENCH_8.json``."""
+
+    def record(name: str, **fields) -> None:
+        try:
+            data = json.loads(BENCH8_JSON_PATH.read_text())
+        except (OSError, ValueError):
+            data = {"cpu_count": os.cpu_count(), "gates": {}}
+        data.setdefault("gates", {}).setdefault(name, {}).update(fields)
+        BENCH8_JSON_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
 
     return record
 

@@ -19,6 +19,7 @@ The returned :class:`JoinTiming` carries both the measured phase breakdown
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Callable
 
 from ..costmodel.batch import EstimateCache
 from ..costmodel.calibration import CalibrationTable
@@ -108,6 +109,9 @@ class VariantConfig:
     #: ``None`` = shared table on the coupled machine, separate on discrete.
     shared_hash_table: bool | None = None
     ratio_delta: float = 0.02
+    #: Join PHJ partition pairs on the shared process pool (serial = reference).
+    parallel: bool = False
+    n_workers: int | None = None
 
     def __post_init__(self) -> None:
         if self.algorithm not in ALGORITHMS:
@@ -160,6 +164,8 @@ class HashJoinVariant:
                 config=join_config,
                 partition_config=config.partition_config,
                 target_partition_tuples=config.target_partition_tuples,
+                parallel=config.parallel,
+                n_workers=config.n_workers,
             ).run(build, probe)
             series_list = [*run.partition_phase.series_per_pass, run.build_series, run.probe_series]
             result = run.result
@@ -309,15 +315,26 @@ def external_pair_joiner(
     algorithm: str = PHJ,
     scheme: Scheme | str = Scheme.PIPELINED,
     machine: Machine | None = None,
+    machine_factory: Callable[[], Machine] | None = None,
     **config_kwargs,
 ):
     """Adapter for :class:`repro.hashjoin.external.ExternalHashJoin`.
 
     Returns a callable mapping one in-buffer partition pair to
-    ``(simulated seconds, join result)``.
+    ``(simulated seconds, join result)``.  A shared ``machine`` carries
+    mutable counters that ``run_join`` resets per call, so a joiner built on
+    one is not thread-safe; for ``ExternalHashJoin(parallel=True)`` pass
+    ``machine_factory`` instead — every invocation then measures against a
+    fresh machine of its own.
     """
+    if machine is not None and machine_factory is not None:
+        raise ValueError("pass either machine or machine_factory, not both")
+
     def joiner(build: Relation, probe: Relation) -> tuple[float, JoinResult]:
-        timing = run_join(algorithm, scheme, build, probe, machine=machine, **config_kwargs)
+        pair_machine = machine_factory() if machine_factory is not None else machine
+        timing = run_join(
+            algorithm, scheme, build, probe, machine=pair_machine, **config_kwargs
+        )
         return timing.total_s, timing.result
 
     return joiner

@@ -61,6 +61,72 @@ class CoarsePHJRun:
         return [*self.partition_series, self.pair_series]
 
 
+def join_pair_coarse(
+    build_part: Relation,
+    probe_part: Relation,
+    build_hashes: np.ndarray | None,
+    probe_hashes: np.ndarray | None,
+    config: HashJoinConfig,
+    reuse_hashes: bool,
+    allocator,
+) -> tuple[tuple[float, float, float, float], JoinResult, int]:
+    """Join one pair as a single coarse work item.
+
+    Returns ``((instructions, random accesses, sequential bytes, atomics),
+    result, table bytes)`` — the per-pair scalars of the pair-join step.
+    Like :func:`repro.hashjoin.partition.join_partition_pair`, the outcome
+    depends only on the pair and the allocator configuration, so serial and
+    process-pool execution are bit-identical.
+    """
+    table = HashTable(
+        n_buckets=config.bucket_count_for(max(len(build_part), 1)),
+        allocator=allocator,
+        shared_between_devices=False,
+    )
+    build_buckets = (
+        bucket_of_hashed(build_hashes, table.n_buckets)
+        if reuse_hashes and build_hashes is not None
+        else bucket_of(build_part.keys, table.n_buckets, seed=config.hash_seed)
+    )
+    build_work = table.bulk_insert(build_part.keys, build_part.rids, build_buckets)
+    probe_buckets = (
+        bucket_of_hashed(probe_hashes, table.n_buckets)
+        if reuse_hashes and probe_hashes is not None
+        else bucket_of(probe_part.keys, table.n_buckets, seed=config.hash_seed)
+    )
+    result, probe_work = table.bulk_probe(probe_part.keys, probe_part.rids, probe_buckets)
+
+    nb, npr = len(build_part), len(probe_part)
+    instructions = (
+        nb * (MURMUR_INSTRUCTIONS_PER_KEY + HEADER_VISIT_INSTRUCTIONS + RID_INSERT_INSTRUCTIONS)
+        + float(np.sum(KEY_SEARCH_BASE_INSTRUCTIONS
+                       + KEY_SEARCH_PER_NODE_INSTRUCTIONS * build_work.key_nodes_visited))
+        + npr * (MURMUR_INSTRUCTIONS_PER_KEY + HEADER_VISIT_INSTRUCTIONS)
+        + float(np.sum(KEY_SEARCH_BASE_INSTRUCTIONS
+                       + KEY_SEARCH_PER_NODE_INSTRUCTIONS * probe_work.key_nodes_visited))
+        + float(np.sum(MATCH_VISIT_BASE_INSTRUCTIONS
+                       + MATCH_VISIT_PER_MATCH_INSTRUCTIONS * probe_work.matches))
+    )
+    random_accesses = (
+        nb * 2.0
+        + float(np.sum(build_work.key_nodes_visited))
+        + npr * 1.0
+        + float(np.sum(probe_work.key_nodes_visited))
+        + float(np.sum(probe_work.matches))
+    )
+    sequential_bytes = (
+        nb * (12.0 + RID_NODE_BYTES)
+        + npr * 12.0
+        + 8.0 * float(np.sum(probe_work.matches))
+    )
+    atomics = nb * 2.0 + float(np.sum(probe_work.matches)) * 0.1
+    return (
+        (instructions, random_accesses, sequential_bytes, atomics),
+        result,
+        table.nbytes,
+    )
+
+
 class CoarseGrainedPHJ:
     """PHJ with one work item per partition pair (the PHJ-PL' baseline)."""
 
@@ -70,6 +136,8 @@ class CoarseGrainedPHJ:
         partition_config: PartitionConfig | None = None,
         target_partition_tuples: int = 64_000,
         use_kernels: bool = True,
+        parallel: bool = False,
+        n_workers: int | None = None,
     ) -> None:
         # Separate per-pair tables are inherent to this variant.
         base = config or HashJoinConfig()
@@ -84,6 +152,8 @@ class CoarseGrainedPHJ:
         )
         self.partition_config = partition_config
         self.target_partition_tuples = target_partition_tuples
+        self.parallel = parallel
+        self.n_workers = n_workers
 
     def run(self, build: Relation, probe: Relation) -> CoarsePHJRun:
         helper = PartitionedHashJoin(
@@ -92,9 +162,10 @@ class CoarseGrainedPHJ:
             target_partition_tuples=self.target_partition_tuples,
         )
         partition_config = helper._partition_config_for(build)
-        allocator = self.config.make_allocator(
+        arena_capacity = (
             arena_capacity_for(len(build), len(probe)) + (len(build) + len(probe)) * 16
         )
+        allocator = self.config.make_allocator(arena_capacity)
         partition_phase = execute_partition_phase(
             build, probe, partition_config, self.config, allocator,
             fused=self.use_kernels,
@@ -103,67 +174,43 @@ class CoarseGrainedPHJ:
         probe_parts = partition_phase.probe_partitions.partitions_with_hashes()
         reuse_hashes = partition_config.hash_seed == self.config.hash_seed
 
+        pairs = [
+            (build_part, probe_part, build_hashes, probe_hashes)
+            for (build_part, build_hashes), (probe_part, probe_hashes) in zip(
+                build_parts, probe_parts
+            )
+            if len(build_part) or len(probe_part)
+        ]
+
+        if self.parallel and len(pairs) > 1:
+            from .parallel import run_coarse_pairs
+
+            outcomes = run_coarse_pairs(
+                pairs, self.config, reuse_hashes, arena_capacity, allocator,
+                n_workers=self.n_workers,
+            )
+        else:
+            outcomes = [
+                join_pair_coarse(
+                    build_part, probe_part, build_hashes, probe_hashes,
+                    self.config, reuse_hashes, allocator,
+                )
+                for build_part, probe_part, build_hashes, probe_hashes in pairs
+            ]
+
         per_pair_instructions: list[float] = []
         per_pair_random: list[float] = []
         per_pair_seq: list[float] = []
         per_pair_atomics: list[float] = []
         results: list[JoinResult] = []
         total_table_bytes = 0
-
-        for (build_part, build_hashes), (probe_part, probe_hashes) in zip(
-            build_parts, probe_parts
-        ):
-            if len(build_part) == 0 and len(probe_part) == 0:
-                continue
-            table = HashTable(
-                n_buckets=self.config.bucket_count_for(max(len(build_part), 1)),
-                allocator=allocator,
-                shared_between_devices=False,
-            )
-            build_buckets = (
-                bucket_of_hashed(build_hashes, table.n_buckets)
-                if reuse_hashes and build_hashes is not None
-                else bucket_of(build_part.keys, table.n_buckets, seed=self.config.hash_seed)
-            )
-            build_work = table.bulk_insert(build_part.keys, build_part.rids, build_buckets)
-            probe_buckets = (
-                bucket_of_hashed(probe_hashes, table.n_buckets)
-                if reuse_hashes and probe_hashes is not None
-                else bucket_of(probe_part.keys, table.n_buckets, seed=self.config.hash_seed)
-            )
-            result, probe_work = table.bulk_probe(probe_part.keys, probe_part.rids, probe_buckets)
-            results.append(result)
-            total_table_bytes += table.nbytes
-
-            nb, npr = len(build_part), len(probe_part)
-            instructions = (
-                nb * (MURMUR_INSTRUCTIONS_PER_KEY + HEADER_VISIT_INSTRUCTIONS + RID_INSERT_INSTRUCTIONS)
-                + float(np.sum(KEY_SEARCH_BASE_INSTRUCTIONS
-                               + KEY_SEARCH_PER_NODE_INSTRUCTIONS * build_work.key_nodes_visited))
-                + npr * (MURMUR_INSTRUCTIONS_PER_KEY + HEADER_VISIT_INSTRUCTIONS)
-                + float(np.sum(KEY_SEARCH_BASE_INSTRUCTIONS
-                               + KEY_SEARCH_PER_NODE_INSTRUCTIONS * probe_work.key_nodes_visited))
-                + float(np.sum(MATCH_VISIT_BASE_INSTRUCTIONS
-                               + MATCH_VISIT_PER_MATCH_INSTRUCTIONS * probe_work.matches))
-            )
-            random_accesses = (
-                nb * 2.0
-                + float(np.sum(build_work.key_nodes_visited))
-                + npr * 1.0
-                + float(np.sum(probe_work.key_nodes_visited))
-                + float(np.sum(probe_work.matches))
-            )
-            sequential_bytes = (
-                nb * (12.0 + RID_NODE_BYTES)
-                + npr * 12.0
-                + 8.0 * float(np.sum(probe_work.matches))
-            )
-            atomics = nb * 2.0 + float(np.sum(probe_work.matches)) * 0.1
-
+        for (instructions, random_accesses, sequential_bytes, atomics), result, table_bytes in outcomes:
             per_pair_instructions.append(instructions)
             per_pair_random.append(random_accesses)
             per_pair_seq.append(sequential_bytes)
             per_pair_atomics.append(atomics)
+            results.append(result)
+            total_table_bytes += table_bytes
 
         n_pairs = len(per_pair_instructions)
         pair_work = PerTupleWork(

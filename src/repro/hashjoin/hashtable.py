@@ -357,7 +357,6 @@ class HashTable:
         group_starts = np.flatnonzero(boundary)
         group_keys = s_keys[group_starts]
         group_buckets = s_buckets[group_starts]
-        group_sizes = np.diff(np.append(group_starts, n))
         n_groups = group_keys.shape[0]
 
         # Which groups hit an already-existing key node?

@@ -1,0 +1,254 @@
+"""Process-pool execution of independent partition pairs (ISSUE 8).
+
+After radix partitioning, the per-pair simple hash joins are completely
+independent: each pair builds a private table, the bulk insert/probe kernels
+only *add* to the allocator's counters and bump its arena pointer (they never
+read allocator history), and latch contention is tracked per table.  That
+independence is what this module exploits: pairs are joined by a pool of
+forked worker processes, each against a freshly constructed allocator of the
+same configuration, and the driver folds every worker's allocator deltas back
+into the shared allocator *in pair order* — making the merged counters and
+the concatenated step series bit-identical to the serial loop.
+
+The pool is process-wide and lazily created (fork start method where
+available), so repeated joins amortise the worker start-up cost.  Payload
+chunks are contiguous runs of pairs balanced by tuple count, which keeps the
+result order deterministic and the per-worker work roughly even under skew.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from ..opencl.allocator import AllocatorStats, MemoryAllocator
+
+__all__ = [
+    "PairPool",
+    "ChunkOutcome",
+    "run_coarse_pairs",
+    "run_fine_pairs",
+    "shared_pair_pool",
+    "split_balanced",
+]
+
+#: Default worker count: one per CPU, capped — pair joins are memory-bound
+#: NumPy kernels, so oversubscription only adds IPC.
+MAX_DEFAULT_WORKERS = 8
+
+
+def default_worker_count() -> int:
+    return max(1, min(os.cpu_count() or 1, MAX_DEFAULT_WORKERS))
+
+
+def split_balanced(
+    items: Sequence[Any], n_chunks: int, weights: Sequence[float] | None = None
+) -> list[list[Any]]:
+    """Split ``items`` into at most ``n_chunks`` contiguous, weight-balanced runs.
+
+    Boundaries are placed where the cumulative weight crosses the ideal
+    per-chunk share, while guaranteeing every chunk at least one item; the
+    concatenation of the chunks is always exactly ``items`` in order.
+    """
+    n = len(items)
+    if n == 0:
+        return []
+    if n_chunks <= 0:
+        raise ValueError("n_chunks must be positive")
+    n_chunks = min(n_chunks, n)
+    if weights is None:
+        weights = [1.0] * n
+    if len(weights) != n:
+        raise ValueError("weights must match items")
+    cum = np.cumsum(np.asarray(weights, dtype=np.float64))
+    total = float(cum[-1])
+    bounds = [0]
+    for j in range(1, n_chunks):
+        cut = int(np.searchsorted(cum, total * j / n_chunks, side="left")) + 1
+        cut = max(cut, bounds[-1] + 1)
+        cut = min(cut, n - (n_chunks - j))
+        bounds.append(cut)
+    bounds.append(n)
+    return [list(items[a:b]) for a, b in zip(bounds, bounds[1:])]
+
+
+class PairPool:
+    """A lazily started pool of forked processes joining partition pairs.
+
+    Not thread-safe: one driver thread submits chunks and consumes results.
+    Workers are plain :class:`~concurrent.futures.ProcessPoolExecutor`
+    processes using the ``fork`` start method where the platform offers it
+    (payloads and worker functions are picklable, so ``spawn`` works too).
+    """
+
+    def __init__(self, n_workers: int | None = None) -> None:
+        self.n_workers = max(1, n_workers if n_workers is not None else default_worker_count())
+        self._executor: ProcessPoolExecutor | None = None
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            methods = multiprocessing.get_all_start_methods()
+            context = multiprocessing.get_context(
+                "fork" if "fork" in methods else None
+            )
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.n_workers, mp_context=context
+            )
+        return self._executor
+
+    def map(self, fn: Callable[[Any], Any], payloads: Sequence[Any]) -> list[Any]:
+        """Apply ``fn`` to every payload, preserving payload order.
+
+        A single payload (or a single-worker pool) is run in-process — the
+        worker functions are deterministic, so the outcome is identical and
+        the fork/IPC cost is saved.
+        """
+        if len(payloads) <= 1 or self.n_workers == 1:
+            return [fn(payload) for payload in payloads]
+        return list(self._ensure_executor().map(fn, payloads))
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "started" if self._executor is not None else "idle"
+        return f"PairPool(n_workers={self.n_workers}, {state})"
+
+
+_POOLS_GUARD = threading.Lock()
+_POOLS: dict[int, PairPool] = {}
+
+
+def shared_pair_pool(n_workers: int | None = None) -> PairPool:
+    """The process-wide pool for ``n_workers`` (created on first use)."""
+    key = max(1, n_workers if n_workers is not None else default_worker_count())
+    with _POOLS_GUARD:
+        pool = _POOLS.get(key)
+        if pool is None:
+            pool = PairPool(key)
+            _POOLS[key] = pool
+        return pool
+
+
+# ---------------------------------------------------------------------------
+# Worker payloads and chunk outcomes
+# ---------------------------------------------------------------------------
+@dataclass
+class ChunkOutcome:
+    """Per-pair outcomes of one worker chunk plus its allocator deltas."""
+
+    pairs: list[Any]
+    stats: AllocatorStats = field(default_factory=AllocatorStats)
+    arena_bytes: int = 0
+    arena_bumps: int = 0
+
+
+def _run_fine_chunk(payload: tuple) -> ChunkOutcome:
+    """Join a chunk of pairs with the fine-grained SHJ steps (worker side)."""
+    from .partition import join_partition_pair
+
+    pairs, config, reuse_hashes, arena_capacity = payload
+    allocator = config.make_allocator(arena_capacity)
+    outcomes = [
+        join_partition_pair(
+            build_part, probe_part, build_hashes, probe_hashes,
+            config, reuse_hashes, allocator,
+        )
+        for build_part, probe_part, build_hashes, probe_hashes in pairs
+    ]
+    return ChunkOutcome(
+        pairs=outcomes,
+        stats=allocator.stats,
+        arena_bytes=allocator.arena.used_bytes,
+        arena_bumps=allocator.arena.global_atomics,
+    )
+
+
+def _run_coarse_chunk(payload: tuple) -> ChunkOutcome:
+    """Join a chunk of pairs as coarse per-pair work items (worker side)."""
+    from .coarse import join_pair_coarse
+
+    pairs, config, reuse_hashes, arena_capacity = payload
+    allocator = config.make_allocator(arena_capacity)
+    outcomes = [
+        join_pair_coarse(
+            build_part, probe_part, build_hashes, probe_hashes,
+            config, reuse_hashes, allocator,
+        )
+        for build_part, probe_part, build_hashes, probe_hashes in pairs
+    ]
+    return ChunkOutcome(
+        pairs=outcomes,
+        stats=allocator.stats,
+        arena_bytes=allocator.arena.used_bytes,
+        arena_bumps=allocator.arena.global_atomics,
+    )
+
+
+def _run_pairs(
+    worker: Callable[[tuple], ChunkOutcome],
+    pairs: Sequence[tuple],
+    config,
+    reuse_hashes: bool,
+    arena_capacity: int,
+    allocator: MemoryAllocator,
+    n_workers: int | None,
+) -> list[Any]:
+    pool = shared_pair_pool(n_workers)
+    weights = [
+        float(len(build_part) + len(probe_part))
+        for build_part, probe_part, _, _ in pairs
+    ]
+    chunks = split_balanced(pairs, pool.n_workers, weights)
+    payloads = [(chunk, config, reuse_hashes, arena_capacity) for chunk in chunks]
+    outcomes: list[Any] = []
+    for chunk_outcome in pool.map(worker, payloads):
+        outcomes.extend(chunk_outcome.pairs)
+        allocator.absorb(
+            chunk_outcome.stats, chunk_outcome.arena_bytes, chunk_outcome.arena_bumps
+        )
+    return outcomes
+
+
+def run_fine_pairs(
+    pairs: Sequence[tuple],
+    config,
+    reuse_hashes: bool,
+    arena_capacity: int,
+    allocator: MemoryAllocator,
+    n_workers: int | None = None,
+) -> list[tuple]:
+    """Join ``pairs`` on the shared pool with fine-grained SHJ steps.
+
+    Returns the per-pair ``(build series, probe series, result, table bytes)``
+    outcomes in pair order and folds the workers' allocator deltas into
+    ``allocator`` (also in pair order), so the caller observes exactly the
+    serial loop's state.
+    """
+    return _run_pairs(
+        _run_fine_chunk, pairs, config, reuse_hashes, arena_capacity, allocator,
+        n_workers,
+    )
+
+
+def run_coarse_pairs(
+    pairs: Sequence[tuple],
+    config,
+    reuse_hashes: bool,
+    arena_capacity: int,
+    allocator: MemoryAllocator,
+    n_workers: int | None = None,
+) -> list[tuple]:
+    """Join ``pairs`` on the shared pool as coarse per-pair work items."""
+    return _run_pairs(
+        _run_coarse_chunk, pairs, config, reuse_hashes, arena_capacity, allocator,
+        n_workers,
+    )

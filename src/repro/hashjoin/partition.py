@@ -45,6 +45,10 @@ class PartitionError(RuntimeError):
     """Raised for invalid partitioning configurations."""
 
 
+#: Ceiling on total radix bits enforced by :class:`PartitionConfig`.
+MAX_RADIX_BITS = 24
+
+
 @dataclass(frozen=True)
 class PartitionConfig:
     """Radix-partitioning configuration.
@@ -61,8 +65,10 @@ class PartitionConfig:
     def __post_init__(self) -> None:
         if self.bits_per_pass <= 0 or self.n_passes <= 0:
             raise PartitionError("bits_per_pass and n_passes must be positive")
-        if self.bits_per_pass * self.n_passes > 24:
-            raise PartitionError("more than 24 radix bits is not supported")
+        if self.bits_per_pass * self.n_passes > MAX_RADIX_BITS:
+            raise PartitionError(
+                f"more than {MAX_RADIX_BITS} radix bits is not supported"
+            )
 
     @property
     def total_bits(self) -> int:
@@ -82,15 +88,25 @@ def plan_partitioning(
     target_partition_tuples: int = 64_000,
     max_bits_per_pass: int = 8,
 ) -> PartitionConfig:
-    """Choose radix bits/passes so each partition holds about the target tuples."""
+    """Choose radix bits/passes so each partition holds about the target tuples.
+
+    Huge build sides whose ideal fan-out would exceed the 24-radix-bit
+    ceiling fall back to larger-than-target partitions instead of emitting a
+    configuration that :class:`PartitionConfig` rejects mid-run.
+    """
     if build_tuples <= 0:
         return PartitionConfig(bits_per_pass=1, n_passes=1)
     if target_partition_tuples <= 0:
         raise PartitionError("target_partition_tuples must be positive")
     needed = max(1, int(np.ceil(build_tuples / target_partition_tuples)))
     total_bits = max(1, int(np.ceil(np.log2(needed))))
+    total_bits = min(total_bits, MAX_RADIX_BITS)
     n_passes = max(1, int(np.ceil(total_bits / max_bits_per_pass)))
     bits_per_pass = int(np.ceil(total_bits / n_passes))
+    if bits_per_pass * n_passes > MAX_RADIX_BITS:
+        # Rounding bits up per pass overshot the ceiling: shrink the passes
+        # (larger partitions) rather than raising from deep inside a run.
+        bits_per_pass = MAX_RADIX_BITS // n_passes
     return PartitionConfig(bits_per_pass=bits_per_pass, n_passes=n_passes)
 
 
@@ -532,6 +548,43 @@ def concat_step_series(
     return StepSeries(phase=phase, executions=merged)
 
 
+def join_partition_pair(
+    build_part: Relation,
+    probe_part: Relation,
+    build_hashes: np.ndarray | None,
+    probe_hashes: np.ndarray | None,
+    config: HashJoinConfig,
+    reuse_hashes: bool,
+    allocator: MemoryAllocator,
+) -> tuple[StepSeries, StepSeries, JoinResult, int]:
+    """Join one partition pair with the fine-grained SHJ steps.
+
+    Returns ``(build series, probe series, result, table bytes)``.  The body
+    only depends on the pair's tuples and the allocator *configuration* (the
+    bulk paths bump the arena and add to counters without reading history),
+    so the serial shared-allocator loop and the process-pool workers with
+    private allocators produce bit-identical outcomes.
+    """
+    table = HashTable(
+        n_buckets=config.bucket_count_for(max(len(build_part), 1)),
+        allocator=allocator,
+        shared_between_devices=config.shared_hash_table,
+    )
+    build_buckets = (
+        bucket_of_hashed(build_hashes, table.n_buckets)
+        if reuse_hashes and build_hashes is not None
+        else None
+    )
+    probe_buckets = (
+        bucket_of_hashed(probe_hashes, table.n_buckets)
+        if reuse_hashes and probe_hashes is not None
+        else None
+    )
+    build_outcome = execute_build(build_part, table, config, buckets=build_buckets)
+    probe_outcome = execute_probe(probe_part, table, config, buckets=probe_buckets)
+    return build_outcome.series, probe_outcome.series, probe_outcome.result, table.nbytes
+
+
 class PartitionedHashJoin:
     """The PHJ operator: radix partitioning followed by per-pair SHJ."""
 
@@ -542,18 +595,25 @@ class PartitionedHashJoin:
         target_partition_tuples: int = 64_000,
         use_kernels: bool = True,
         concat_workspace: ConcatWorkspace | None = None,
+        parallel: bool = False,
+        n_workers: int | None = None,
     ) -> None:
         """``use_kernels=False`` routes the partition phase and the per-pair
         series merge through the scalar reference paths (the pre-kernel
         per-pass loop and materialise-and-concatenate merge); the results
         are bit-identical either way.  ``concat_workspace`` opts into a
         shared grow-only buffer set for drivers that consume each run's
-        series before starting the next run."""
+        series before starting the next run.  ``parallel=True`` joins the
+        independent partition pairs on the shared process pool (``n_workers``
+        processes); ``parallel=False`` keeps the serial per-pair loop as the
+        bit-matched reference."""
         self.config = config or HashJoinConfig()
         self.partition_config = partition_config
         self.target_partition_tuples = target_partition_tuples
         self.use_kernels = use_kernels
         self.concat_workspace = concat_workspace
+        self.parallel = parallel
+        self.n_workers = n_workers
 
     def _partition_config_for(self, build: Relation) -> PartitionConfig:
         if self.partition_config is not None:
@@ -562,9 +622,10 @@ class PartitionedHashJoin:
 
     def run(self, build: Relation, probe: Relation) -> PHJRun:
         partition_config = self._partition_config_for(build)
-        allocator = self.config.make_allocator(
+        arena_capacity = (
             arena_capacity_for(len(build), len(probe)) + (len(build) + len(probe)) * 16
         )
+        allocator = self.config.make_allocator(arena_capacity)
 
         partition_phase = execute_partition_phase(
             build, probe, partition_config, self.config, allocator,
@@ -577,41 +638,39 @@ class PartitionedHashJoin:
         # when both consumers share the murmur seed.
         reuse_hashes = partition_config.hash_seed == self.config.hash_seed
 
+        pairs = [
+            (build_part, probe_part, build_hashes, probe_hashes)
+            for (build_part, build_hashes), (probe_part, probe_hashes) in zip(
+                build_parts, probe_parts
+            )
+            if len(build_part) or len(probe_part)
+        ]
+
+        if self.parallel and len(pairs) > 1:
+            from .parallel import run_fine_pairs
+
+            outcomes = run_fine_pairs(
+                pairs, self.config, reuse_hashes, arena_capacity, allocator,
+                n_workers=self.n_workers,
+            )
+        else:
+            outcomes = [
+                join_partition_pair(
+                    build_part, probe_part, build_hashes, probe_hashes,
+                    self.config, reuse_hashes, allocator,
+                )
+                for build_part, probe_part, build_hashes, probe_hashes in pairs
+            ]
+
         build_series_per_pair: list[StepSeries] = []
         probe_series_per_pair: list[StepSeries] = []
         results: list[JoinResult] = []
         max_table_bytes = 0
-
-        for (build_part, build_hashes), (probe_part, probe_hashes) in zip(
-            build_parts, probe_parts
-        ):
-            if len(build_part) == 0 and len(probe_part) == 0:
-                continue
-            table = HashTable(
-                n_buckets=self.config.bucket_count_for(max(len(build_part), 1)),
-                allocator=allocator,
-                shared_between_devices=self.config.shared_hash_table,
-            )
-            build_buckets = (
-                bucket_of_hashed(build_hashes, table.n_buckets)
-                if reuse_hashes and build_hashes is not None
-                else None
-            )
-            probe_buckets = (
-                bucket_of_hashed(probe_hashes, table.n_buckets)
-                if reuse_hashes and probe_hashes is not None
-                else None
-            )
-            build_outcome = execute_build(
-                build_part, table, self.config, buckets=build_buckets
-            )
-            probe_outcome = execute_probe(
-                probe_part, table, self.config, buckets=probe_buckets
-            )
-            build_series_per_pair.append(build_outcome.series)
-            probe_series_per_pair.append(probe_outcome.series)
-            results.append(probe_outcome.result)
-            max_table_bytes = max(max_table_bytes, table.nbytes)
+        for build_series_one, probe_series_one, result, table_bytes in outcomes:
+            build_series_per_pair.append(build_series_one)
+            probe_series_per_pair.append(probe_series_one)
+            results.append(result)
+            max_table_bytes = max(max_table_bytes, table_bytes)
 
         pair_ws = WorkingSet(
             bytes=float(max_table_bytes),

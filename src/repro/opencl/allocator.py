@@ -81,6 +81,23 @@ class Arena:
     def global_atomics(self) -> int:
         return self._free_pointer.stats.global_ops
 
+    def absorb(self, nbytes: int, n_bumps: int) -> None:
+        """Replay ``n_bumps`` pointer advances totalling ``nbytes`` at once.
+
+        Used when partition pairs were joined by workers with private arenas:
+        the driver arena absorbs each worker's usage with one capacity-checked
+        advance whose atomic-op count equals the individual bumps it stands
+        for, so the merged counters match the serial shared-arena run exactly.
+        """
+        if n_bumps < 0:
+            raise ValueError("n_bumps must be non-negative")
+        if n_bumps == 0:
+            if nbytes:
+                raise ValueError("cannot absorb bytes without any bumps")
+            return
+        self.bump(nbytes)
+        self._free_pointer.stats.global_ops += n_bumps - 1
+
     def reset(self) -> None:
         self._free_pointer.reset(0)
         self._free_pointer.stats.global_ops = 0
@@ -140,6 +157,19 @@ class MemoryAllocator:
         threads = concurrent_hardware_threads(device_kind)
         access_probability = min(1.0, work_fraction_in_atomic * global_per_request)
         return contention_ratio(threads, 1.0, access_probability)
+
+    def absorb(self, stats: AllocatorStats, arena_bytes: int, arena_bumps: int) -> None:
+        """Fold a worker allocator's effects into this one.
+
+        ``stats`` are the worker's counters (all additive), ``arena_bytes`` /
+        ``arena_bumps`` its arena usage.  The bulk allocation paths depend
+        only on the allocator *configuration*, never on its history, so pairs
+        joined against private worker allocators produce the same step series
+        as against the shared one — absorbing the deltas in pair order makes
+        the driver's counters bit-identical to the serial run too.
+        """
+        self.stats = self.stats.merge(stats)
+        self.arena.absorb(arena_bytes, arena_bumps)
 
     def reset(self) -> None:
         self.stats = AllocatorStats()

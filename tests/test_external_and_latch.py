@@ -7,10 +7,21 @@ import numpy as np
 import pytest
 
 from repro.data import JoinWorkload, Relation
+from repro.data.generator import SKEW_PRESETS, generate_build_relation, generate_probe_relation
 from repro.experiments.common import ExperimentResult
 from repro.experiments.fig19_external import small_buffer_machine
 from repro.experiments.fig20_latch import effective_targets, latch_benchmark_time
-from repro.hashjoin import ExternalHashJoin, plan_super_partitions, vectorized_reference_join
+from repro.hashjoin import (
+    MAX_RADIX_BITS,
+    MAX_SUPER_PARTITION_BITS,
+    RESULT_PAIR_BYTES,
+    ExternalHashJoin,
+    SimpleHashJoin,
+    SuperPartitionOverflowError,
+    plan_partitioning,
+    plan_super_partitions,
+    vectorized_reference_join,
+)
 from repro.hardware import coupled_machine
 
 
@@ -31,6 +42,58 @@ class TestPlanSuperPartitions:
         parts = plan_super_partitions(workload.build, workload.probe, machine)
         assert parts > 1
         assert parts & (parts - 1) == 0
+
+    @staticmethod
+    def _past_ceiling_inputs():
+        # 1.4M tuples a side against a 1-byte buffer needs > 2**24 partitions.
+        relation = Relation.from_keys(np.arange(1_400_000, dtype=np.int64))
+        return relation, relation, small_buffer_machine(buffer_bytes=1)
+
+    def test_fan_out_clamped_at_radix_bit_ceiling(self):
+        """An absurd buffer/relation ratio must not plan past 24 radix bits;
+        the overflow pairs are stage-2's problem (recursion / spilling)."""
+        build, probe, machine = self._past_ceiling_inputs()
+        parts = plan_super_partitions(build, probe, machine)
+        assert parts == 1 << MAX_SUPER_PARTITION_BITS
+
+    def test_overflow_raises_structured_error_when_clamp_disabled(self):
+        build, probe, machine = self._past_ceiling_inputs()
+        with pytest.raises(SuperPartitionOverflowError) as excinfo:
+            plan_super_partitions(build, probe, machine, clamp=False)
+        assert excinfo.value.needed_bits > excinfo.value.max_bits
+        assert excinfo.value.max_bits == MAX_SUPER_PARTITION_BITS
+
+    def test_fan_out_at_ceiling_does_not_raise(self):
+        workload = JoinWorkload.uniform(4_000, 4_000, seed=1)
+        pair_bytes = workload.build.nbytes + workload.probe.nbytes
+        # Buffer sized so the needed fan-out lands exactly on the ceiling.
+        buffer_bytes = max(
+            1, int(np.ceil(pair_bytes * 2.0 / (1 << MAX_SUPER_PARTITION_BITS)))
+        )
+        machine = small_buffer_machine(buffer_bytes=buffer_bytes)
+        parts = plan_super_partitions(
+            workload.build, workload.probe, machine, clamp=False
+        )
+        assert parts <= 1 << MAX_SUPER_PARTITION_BITS
+
+
+class TestPlanPartitioningCeiling:
+    """Satellite: huge build sides must cap at 24 total radix bits, not crash."""
+
+    def test_huge_build_side_caps_total_bits(self):
+        config = plan_partitioning(1 << 30, target_partition_tuples=1)
+        assert config.total_bits <= MAX_RADIX_BITS
+
+    @pytest.mark.parametrize("max_bits_per_pass", [1, 3, 5, 7, 8])
+    def test_cap_survives_per_pass_rounding(self, max_bits_per_pass):
+        config = plan_partitioning(
+            1 << 30, target_partition_tuples=1, max_bits_per_pass=max_bits_per_pass
+        )
+        assert config.total_bits <= MAX_RADIX_BITS
+
+    def test_normal_sizes_unchanged(self):
+        config = plan_partitioning(640_000, target_partition_tuples=10_000)
+        assert config.total_bits == 6
 
 
 class TestExternalHashJoin:
@@ -63,6 +126,28 @@ class TestExternalHashJoin:
         with pytest.raises(ValueError):
             ExternalHashJoin(simple_pair_joiner, chunk_tuples=0)
 
+    def test_stage2_charges_result_copy_out(self):
+        """Regression: stage 2 must charge the join result's copy-out, not
+        just the pair's copy-in.  With no spilling or recursion the copied
+        bytes are exactly: each relation staged in and out once (stage 1),
+        every non-empty pair copied in once, and every emitted rid pair
+        copied out once."""
+        workload = JoinWorkload.uniform(20_000, 20_000, seed=9)
+        machine = small_buffer_machine(buffer_bytes=32 * 1024)
+        machine.memory.reset()
+        external = ExternalHashJoin(
+            simple_pair_joiner, machine=machine, chunk_tuples=5_000
+        )
+        run = external.run(workload.build, workload.probe)
+        assert run.stats.spilled_pairs == 0
+        assert run.stats.recursive_splits == 0
+
+        staged = 2 * (workload.build.nbytes + workload.probe.nbytes)
+        pair_in = workload.build.nbytes + workload.probe.nbytes  # all pairs occupied
+        result_out = run.result.match_count * RESULT_PAIR_BYTES
+        assert machine.memory.copied_bytes == staged + pair_in + result_out
+        assert result_out > 0  # the historical accounting dropped this term
+
     def test_more_chunks_mean_more_copies(self):
         workload = JoinWorkload.uniform(40_000, 40_000, seed=2)
         fine = ExternalHashJoin(
@@ -73,6 +158,60 @@ class TestExternalHashJoin:
         ).run(workload.build, workload.probe)
         assert fine.result.match_count == coarse.result.match_count
         assert fine.breakdown.data_copy_s >= coarse.breakdown.data_copy_s - 1e-12
+
+
+class TestExternalSkewParity:
+    """Satellite: skewed / duplicate-heavy keys through the external join
+    (including the recursive re-partition path) must reproduce the simple
+    in-memory join exactly."""
+
+    @staticmethod
+    def _simple_join_result(build, probe):
+        return SimpleHashJoin().run(build, probe).result
+
+    def test_zipfian_keys_match_simple_join(self):
+        build = generate_build_relation(
+            25_000, skew=SKEW_PRESETS["high-skew"], seed=17
+        )
+        probe = generate_probe_relation(build, 50_000, seed=18)
+        machine = small_buffer_machine(buffer_bytes=48 * 1024)
+        run = ExternalHashJoin(
+            simple_pair_joiner, machine=machine, chunk_tuples=5_000
+        ).run(build, probe)
+        assert not run.fits_in_buffer
+        assert run.result.equals(self._simple_join_result(build, probe))
+
+    def test_heavy_hitter_triggers_recursion_and_matches_simple_join(self):
+        rng = np.random.default_rng(19)
+        keys = np.concatenate(
+            [
+                np.full(2_500, 11, dtype=np.int64),
+                rng.integers(0, 80_000, 35_000, dtype=np.int64),
+            ]
+        )
+        build = Relation.from_keys(keys, name="R")
+        probe = Relation.from_keys(rng.permutation(keys), name="S")
+        machine = small_buffer_machine(buffer_bytes=64 * 1024)
+        external = ExternalHashJoin(
+            simple_pair_joiner, machine=machine, chunk_tuples=5_000
+        )
+        run = external.run(build, probe)
+        assert run.stats.recursive_splits >= 1
+        assert run.result.equals(self._simple_join_result(build, probe))
+        assert (
+            run.stats.max_in_buffer_bytes * external.overhead_factor
+            <= machine.memory.zero_copy.capacity_bytes
+        )
+
+    def test_all_equal_keys_match_simple_join(self):
+        build = Relation.from_keys(np.full(5_000, 3, dtype=np.int64), name="R")
+        probe = Relation.from_keys(np.full(700, 3, dtype=np.int64), name="S")
+        machine = small_buffer_machine(buffer_bytes=16 * 1024)
+        run = ExternalHashJoin(
+            simple_pair_joiner, machine=machine, chunk_tuples=2_000
+        ).run(build, probe)
+        assert run.stats.spilled_pairs >= 1
+        assert run.result.equals(self._simple_join_result(build, probe))
 
 
 class TestLatchModel:
