@@ -40,7 +40,10 @@ import ast
 import re
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from .graph import ModuleGraph
 
 __all__ = [
     "Checker",
@@ -159,10 +162,27 @@ class Project:
 
     src_files: list[SourceFile] = field(default_factory=list)
     test_files: list[SourceFile] = field(default_factory=list)
+    _graph: object = field(default=None, repr=False, compare=False)
 
     def all_files(self) -> Iterator[SourceFile]:
         yield from self.src_files
         yield from self.test_files
+
+    def graph(self) -> "ModuleGraph":
+        """The repo graph (imports + symbol tables) over ``src`` modules.
+
+        Built once per lint run and shared by every cross-file pass — the
+        "repo-graph phase" of ISSUE 9.  Only ``src`` files participate:
+        the whole-program passes reason about production modules, and test
+        modules routinely do things (fixtures, monkeypatching) the passes
+        would misread as hazards.
+        """
+        if self._graph is None:
+            from .graph import ModuleGraph
+
+            self._graph = ModuleGraph(self.src_files)
+        graph: ModuleGraph = self._graph  # type: ignore[assignment]
+        return graph
 
 
 class Checker:

@@ -37,6 +37,14 @@ Conventions the checker understands (and that the codebase follows):
   shared cache is called by arbitrary threads) and are checked.
 * Method *calls* (``self.foo(...)``) are dispatch, not state access, and
   are not treated as attribute reads.
+
+ISSUE 9 adds a second, simpler rule: **raw lock construction**.  Every
+lock must be created through :func:`repro.locking.make_lock` so it carries
+a name — the node id the static ``lock-order`` pass and the runtime
+sanitizer file it under.  A direct ``threading.Lock()`` / ``RLock()`` /
+``Condition`` / ``Semaphore`` call anywhere outside the module that
+*defines* ``make_lock`` is a finding: that lock would be invisible to the
+whole-program analysis.
 """
 
 from __future__ import annotations
@@ -58,6 +66,8 @@ __all__ = ["LockDisciplineChecker"]
 
 #: Call targets recognised as creating a lock.
 _LOCK_FACTORIES = {"Lock", "RLock", "make_lock"}
+#: Raw ``threading`` constructors that must go through ``make_lock``.
+_RAW_LOCK_NAMES = {"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"}
 #: Methods exempt from the violation scan (construction happens-before).
 _CONSTRUCTION = {"__init__", "__post_init__", "__new__", "__init_subclass__"}
 
@@ -203,12 +213,75 @@ class LockDisciplineChecker(Checker):
             if isinstance(node, ast.ClassDef):
                 classes[node.name] = _collect_class(node)
 
-        findings: list[Finding] = []
+        findings: list[Finding] = self._raw_lock_findings(source)
         for info in classes.values():
             if not info.lock_attrs:
                 continue
             findings.extend(self._check_class(source, info, classes))
         return findings
+
+    # ------------------------------------------------------------------
+    def _raw_lock_findings(self, source: SourceFile) -> list[Finding]:
+        """Flag raw ``threading.Lock()``-family construction sites.
+
+        The module that defines ``make_lock`` is exempt — it is the one
+        place raw constructors are supposed to live.
+        """
+        tree = source.tree
+        for node in tree.body:
+            if (
+                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node.name == "make_lock"
+            ):
+                return []
+        from_threading = {
+            alias.asname or alias.name
+            for node in ast.walk(tree)
+            if isinstance(node, ast.ImportFrom) and node.module == "threading"
+            for alias in node.names
+            if alias.name in _RAW_LOCK_NAMES
+        }
+        findings: list[Finding] = []
+
+        def scan(node: ast.AST, scope: str) -> None:
+            for child in ast.iter_child_nodes(node):
+                child_scope = scope
+                if isinstance(
+                    child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                ):
+                    child_scope = f"{scope}.{child.name}" if scope else child.name
+                if isinstance(child, ast.Call):
+                    raw = self._raw_lock_kind(child, from_threading)
+                    if raw is not None:
+                        findings.append(
+                            self.finding(
+                                source,
+                                child,
+                                f"raw `threading.{raw}()` construction; use "
+                                f"`make_lock(name)` from repro.locking so the "
+                                f"lock-order pass and the runtime sanitizer "
+                                f"see a named lock",
+                                key_context=f"raw-lock:{scope or '<module>'}",
+                            )
+                        )
+                scan(child, child_scope)
+
+        scan(tree, "")
+        return findings
+
+    @staticmethod
+    def _raw_lock_kind(call: ast.Call, from_threading: set[str]) -> str | None:
+        func = call.func
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "threading"
+            and func.attr in _RAW_LOCK_NAMES
+        ):
+            return func.attr
+        if isinstance(func, ast.Name) and func.id in from_threading:
+            return func.id
+        return None
 
     # ------------------------------------------------------------------
     def _check_class(

@@ -1,0 +1,405 @@
+"""Lock-order checker: the static acquisition graph must be acyclic.
+
+Two locks acquired in opposite orders by two threads deadlock; the runtime
+sanitizer (:mod:`repro.locking`) catches the orders a test run actually
+*executes*, and this pass catches the orders the code could execute.  The
+graph is seeded from ``make_lock`` call sites — the lock's string-literal
+name is its stable node id (anonymous locks fall back to the binding's
+``module.Class.attr`` path) — which is why raw ``threading.Lock()``
+construction outside ``repro/locking.py`` is a separate ``lock-discipline``
+finding: unnamed locks would be invisible here.
+
+Edges come from two places:
+
+* **nested ``with`` scopes** — ``with a: with b:`` records ``a -> b``;
+* **one level of interprocedural expansion** — a call made while holding
+  ``a`` to a function whose body acquires ``b`` records ``a -> b``.  Call
+  targets resolve through the repo graph (same-class methods via
+  ``self.x()``, module functions, from-imports); unresolvable calls are
+  silently skipped (under-approximate, stay precise).
+
+Findings: one per strongly connected component with a cycle, keyed by the
+sorted lock names (``cycle:a->b``) so the key is stable under edits; plus a
+direct finding for nested re-acquisition of a *non-reentrant* lock, which
+deadlocks a single thread with no second party needed.  Reentrant locks
+skip self-edges — re-entry is their job.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from .core import Checker, Finding, Project, SourceFile, dotted_name, register
+from .graph import ModuleGraph, ModuleInfo
+
+__all__ = ["LockOrderChecker"]
+
+_LOCK_FACTORY_TARGETS = frozenset({"repro.locking.make_lock", "make_lock"})
+
+
+@dataclass(frozen=True)
+class _LockDef:
+    """One ``make_lock`` binding: node id + where it was bound."""
+
+    name: str
+    reentrant: bool
+    source: SourceFile
+    node: ast.AST
+
+
+@dataclass
+class _Summary:
+    """Lock behaviour of one function/method."""
+
+    acquires: set[str] = field(default_factory=set)
+    #: Directly observed edges ``(held, acquired)`` with a witness node.
+    edges: list[tuple[str, str, SourceFile, ast.AST]] = field(default_factory=list)
+    #: Calls made while holding locks: (held names, call node).
+    held_calls: list[tuple[tuple[str, ...], ast.Call]] = field(default_factory=list)
+    #: Nested non-reentrant re-acquisitions (lock def, witness node).
+    self_deadlocks: list[tuple[_LockDef, SourceFile, ast.AST]] = field(
+        default_factory=list
+    )
+
+
+class LockOrderChecker(Checker):
+    id = "lock-order"
+    description = (
+        "the static lock-acquisition graph (nested `with` scopes plus one "
+        "level of calls between lock-holding functions) must be acyclic"
+    )
+    severity = "error"
+
+    def check_project(self, project: Project) -> list[Finding]:
+        graph = project.graph()
+        self._bindings: dict[tuple[str, str, str], _LockDef] = {}
+        for info in graph.iter_modules():
+            self._collect_bindings(graph, info)
+        self._defs_by_name = {d.name: d for d in self._bindings.values()}
+
+        summaries: dict[tuple[str, str, str], _Summary] = {}
+        for info in graph.iter_modules():
+            for cls_name, fn in self._iter_functions(info):
+                summaries[(info.name, cls_name, fn.name)] = self._summarise(
+                    graph, info, cls_name, fn
+                )
+
+        findings: list[Finding] = []
+        edges: dict[tuple[str, str], tuple[SourceFile, ast.AST]] = {}
+        for (module, cls_name, _), summary in summaries.items():
+            info = graph.modules[module]
+            for held, acquired, source, node in summary.edges:
+                edges.setdefault((held, acquired), (source, node))
+            for lock_def, source, node in summary.self_deadlocks:
+                findings.append(
+                    self.finding(
+                        source,
+                        node,
+                        f"nested re-acquisition of non-reentrant lock "
+                        f"`{lock_def.name}` deadlocks the acquiring thread; "
+                        f"use `make_lock(..., reentrant=True)` or restructure",
+                        key_context=f"self-cycle:{lock_def.name}",
+                    )
+                )
+            # One level of interprocedural expansion.
+            for held_names, call in summary.held_calls:
+                callee = self._resolve_callee(graph, info, cls_name, call)
+                if callee is None:
+                    continue
+                callee_summary = summaries.get(callee)
+                if callee_summary is None:
+                    continue
+                for held in held_names:
+                    for acquired in callee_summary.acquires:
+                        if acquired != held:
+                            edges.setdefault(
+                                (held, acquired), (info.source, call)
+                            )
+
+        findings.extend(self._cycle_findings(edges))
+        return findings
+
+    # ------------------------------------------------------------------
+    # Binding collection: which expressions denote which named lock.
+    # ------------------------------------------------------------------
+    def _collect_bindings(self, graph: ModuleGraph, info: ModuleInfo) -> None:
+        def lock_def_for(
+            call: ast.Call, fallback: str
+        ) -> _LockDef | None:
+            dotted = dotted_name(call.func)
+            if dotted is None:
+                return None
+            target = graph.resolve_target(info, dotted)
+            if target not in _LOCK_FACTORY_TARGETS and dotted not in _LOCK_FACTORY_TARGETS:
+                return None
+            name = fallback
+            if call.args and isinstance(call.args[0], ast.Constant) and isinstance(
+                call.args[0].value, str
+            ) and call.args[0].value:
+                name = call.args[0].value
+            reentrant = any(
+                kw.arg == "reentrant"
+                and isinstance(kw.value, ast.Constant)
+                and kw.value.value is True
+                for kw in call.keywords
+            )
+            return _LockDef(name, reentrant, info.source, call)
+
+        # Module-level: NAME = make_lock("x")
+        for stmt in info.source.tree.body:
+            if isinstance(stmt, (ast.Assign, ast.AnnAssign)) and isinstance(
+                stmt.value, ast.Call
+            ):
+                targets = (
+                    stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+                )
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        lock = lock_def_for(
+                            stmt.value, f"{info.name}.{target.id}"
+                        )
+                        if lock is not None:
+                            self._bindings[(info.name, "", target.id)] = lock
+        # Class attrs: self._x = make_lock("x") anywhere in any method.
+        for cls in info.classes.values():
+            for node in ast.walk(cls):
+                if isinstance(node, (ast.Assign, ast.AnnAssign)) and isinstance(
+                    node.value, ast.Call
+                ):
+                    targets = (
+                        node.targets
+                        if isinstance(node, ast.Assign)
+                        else [node.target]
+                    )
+                    for target in targets:
+                        if (
+                            isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"
+                        ):
+                            lock = lock_def_for(
+                                node.value,
+                                f"{info.name}.{cls.name}.{target.attr}",
+                            )
+                            if lock is not None:
+                                self._bindings[
+                                    (info.name, cls.name, target.attr)
+                                ] = lock
+
+    def _lock_for_expr(
+        self, graph: ModuleGraph, info: ModuleInfo, cls_name: str, expr: ast.expr
+    ) -> _LockDef | None:
+        if isinstance(expr, ast.Name):
+            return self._bindings.get((info.name, "", expr.id))
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+        ):
+            return self._bindings.get((info.name, cls_name, expr.attr))
+        # Imported module-level lock: ``locking_mod.GUARD``.
+        dotted = dotted_name(expr)
+        if dotted is not None:
+            target = graph.resolve_target(info, dotted)
+            parts = target.split(".")
+            for cut in range(len(parts) - 1, 0, -1):
+                module_name = ".".join(parts[:cut])
+                if module_name in graph.modules and cut == len(parts) - 1:
+                    return self._bindings.get((module_name, "", parts[-1]))
+        return None
+
+    # ------------------------------------------------------------------
+    # Function summaries.
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _iter_functions(
+        info: ModuleInfo,
+    ) -> Iterator[tuple[str, ast.FunctionDef | ast.AsyncFunctionDef]]:
+        for fn in info.functions.values():
+            yield "", fn
+        for cls in info.classes.values():
+            for node in cls.body:
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    yield cls.name, node
+
+    def _summarise(
+        self,
+        graph: ModuleGraph,
+        info: ModuleInfo,
+        cls_name: str,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> _Summary:
+        summary = _Summary()
+        self._scan_block(graph, info, cls_name, fn.body, (), summary)
+        return summary
+
+    def _scan_block(
+        self,
+        graph: ModuleGraph,
+        info: ModuleInfo,
+        cls_name: str,
+        stmts: Sequence[ast.stmt],
+        held: tuple[_LockDef, ...],
+        summary: _Summary,
+    ) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue  # a nested def runs when called, not where defined
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                acquired: list[_LockDef] = []
+                for item in stmt.items:
+                    lock = self._lock_for_expr(
+                        graph, info, cls_name, item.context_expr
+                    )
+                    if lock is None:
+                        continue
+                    if any(h.name == lock.name for h in held):
+                        if not lock.reentrant:
+                            summary.self_deadlocks.append(
+                                (lock, info.source, stmt)
+                            )
+                        continue
+                    summary.acquires.add(lock.name)
+                    for h in held:
+                        summary.edges.append(
+                            (h.name, lock.name, info.source, stmt)
+                        )
+                    acquired.append(lock)
+                self._scan_block(
+                    graph, info, cls_name, stmt.body, held + tuple(acquired), summary
+                )
+            else:
+                if held:
+                    held_names = tuple(h.name for h in held)
+                    for node in self._shallow_calls(stmt):
+                        summary.held_calls.append((held_names, node))
+                for body in self._child_blocks(stmt):
+                    self._scan_block(graph, info, cls_name, body, held, summary)
+
+    @staticmethod
+    def _child_blocks(stmt: ast.stmt) -> Iterator[Sequence[ast.stmt]]:
+        for name in ("body", "orelse", "finalbody"):
+            block = getattr(stmt, name, None)
+            if block:
+                yield block
+        for handler in getattr(stmt, "handlers", ()):
+            yield handler.body
+
+    @staticmethod
+    def _shallow_calls(stmt: ast.stmt) -> Iterator[ast.Call]:
+        """Call nodes in a statement, without descending into child blocks."""
+        queue: list[ast.AST] = []
+        if isinstance(stmt, (ast.If, ast.While)):
+            queue.append(stmt.test)
+        elif isinstance(stmt, ast.For):
+            queue.append(stmt.iter)
+        elif isinstance(stmt, (ast.Try,)):
+            return
+        else:
+            queue.append(stmt)
+        for root in queue:
+            for node in ast.walk(root):
+                if isinstance(node, ast.Call):
+                    yield node
+
+    def _resolve_callee(
+        self,
+        graph: ModuleGraph,
+        info: ModuleInfo,
+        cls_name: str,
+        call: ast.Call,
+    ) -> tuple[str, str, str] | None:
+        func = call.func
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "self"
+            and cls_name
+        ):
+            return (info.name, cls_name, func.attr)
+        dotted = dotted_name(func)
+        if dotted is None:
+            return None
+        resolved = graph.resolve_symbol(info, dotted)
+        if resolved is None:
+            return None
+        owner, node = resolved
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return (owner.name, "", node.name)
+        return None
+
+    # ------------------------------------------------------------------
+    # Cycle detection (Tarjan SCC over the merged edge graph).
+    # ------------------------------------------------------------------
+    def _cycle_findings(
+        self, edges: dict[tuple[str, str], tuple[SourceFile, ast.AST]]
+    ) -> list[Finding]:
+        adjacency: dict[str, list[str]] = {}
+        for a, b in edges:
+            adjacency.setdefault(a, []).append(b)
+            adjacency.setdefault(b, [])
+
+        index: dict[str, int] = {}
+        lowlink: dict[str, int] = {}
+        on_stack: set[str] = set()
+        stack: list[str] = []
+        sccs: list[list[str]] = []
+        counter = [0]
+
+        def strongconnect(v: str) -> None:
+            index[v] = lowlink[v] = counter[0]
+            counter[0] += 1
+            stack.append(v)
+            on_stack.add(v)
+            for w in adjacency[v]:
+                if w not in index:
+                    strongconnect(w)
+                    lowlink[v] = min(lowlink[v], lowlink[w])
+                elif w in on_stack:
+                    lowlink[v] = min(lowlink[v], index[w])
+            if lowlink[v] == index[v]:
+                component: list[str] = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    component.append(w)
+                    if w == v:
+                        break
+                sccs.append(component)
+
+        for v in sorted(adjacency):
+            if v not in index:
+                strongconnect(v)
+
+        findings: list[Finding] = []
+        for component in sccs:
+            if len(component) < 2:
+                continue  # self-loops were never recorded as edges
+            names = sorted(component)
+            witness_edges = [
+                (a, b)
+                for (a, b) in edges
+                if a in component and b in component
+            ]
+            details = "; ".join(
+                f"`{a}` -> `{b}` at {edges[(a, b)][0].rel}:"
+                f"{getattr(edges[(a, b)][1], 'lineno', 1)}"
+                for a, b in sorted(witness_edges)
+            )
+            source, node = edges[sorted(witness_edges)[0]]
+            findings.append(
+                self.finding(
+                    source,
+                    node,
+                    f"lock-order cycle between {', '.join(f'`{n}`' for n in names)}: "
+                    f"{details} — two threads taking these paths concurrently "
+                    f"deadlock; impose a single global order",
+                    key_context="cycle:" + "->".join(names),
+                )
+            )
+        return findings
+
+
+register(LockOrderChecker)

@@ -1,0 +1,501 @@
+"""Pool-payload checker: work shipped to a process pool must pickle.
+
+``ProcessPoolExecutor.submit``/``.map`` pickle the callable and every
+argument into the worker process.  Lambdas, nested ``def``\\ s, and bound
+methods pickle *by reference to a qualified name* — lambdas have none,
+nested functions aren't importable, and bound methods drag their whole
+instance along (or fail outright).  PR 8 established the working contract
+informally: ``PairPool`` chunk workers are module-level functions taking
+tuples of primitives.  This pass makes the contract checkable.
+
+Pool-likeness is **construction-based**, not name-based: an expression is a
+process pool if it was assigned from ``ProcessPoolExecutor(...)`` (locally
+or on ``self``), returned by a method that does so, or is an instance of a
+class owning one (``PairPool``).  ``ThreadPoolExecutor`` never pickles and
+is deliberately not matched.
+
+The callable flowing into ``submit``/``map`` is then classified:
+
+* module-level function (same module or resolved through the repo graph) —
+  fine;
+* lambda / nested ``def`` / ``self.method`` or other attribute access —
+  finding at the call site;
+* a *parameter* of the enclosing function — the pass chases callers by name
+  through the project (depth ≤ 2: ``PairPool.map(fn)`` ← ``_run_pairs``
+  ← ``join_partitioned``) and classifies what they pass;
+* anything else — silently fine.  The pass under-approximates: every
+  finding it emits is a guaranteed pickle failure, not a maybe.
+
+Lambdas anywhere in the payload arguments are flagged too — they fail in
+``pickle`` before the pool even dispatches.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator
+
+from .core import Checker, Finding, Project, SourceFile, dotted_name, register
+from .graph import ModuleGraph, ModuleInfo
+
+__all__ = ["PoolPayloadChecker"]
+
+_POOL_FACTORIES = frozenset(
+    {"concurrent.futures.ProcessPoolExecutor", "ProcessPoolExecutor"}
+)
+_DISPATCH_METHODS = frozenset({"submit", "map"})
+_MAX_CHASE_DEPTH = 2
+
+
+def _is_pool_construction(
+    graph: ModuleGraph, info: ModuleInfo, node: ast.expr
+) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    dotted = dotted_name(node.func)
+    if dotted is None:
+        return False
+    target = graph.resolve_target(info, dotted)
+    return target in _POOL_FACTORIES or dotted in _POOL_FACTORIES
+
+
+@dataclass(frozen=True)
+class _FunctionCtx:
+    info: ModuleInfo
+    cls_name: str  # "" for module-level functions
+    fn: ast.FunctionDef | ast.AsyncFunctionDef
+
+
+class PoolPayloadChecker(Checker):
+    id = "pool-payload"
+    description = (
+        "callables and payloads dispatched to a ProcessPoolExecutor-backed "
+        "pool must be module-level functions and picklable-by-construction "
+        "values (no lambdas, nested defs, or bound methods)"
+    )
+    severity = "error"
+
+    def check_project(self, project: Project) -> list[Finding]:
+        graph = project.graph()
+        self._graph = graph
+        # Phase 1: which classes own a process pool, and which of their
+        # methods return one (``_ensure_executor``-style accessors).
+        self._pool_classes: set[tuple[str, str]] = set()
+        self._pool_returning: set[tuple[str, str, str]] = set()
+        for info in graph.iter_modules():
+            for cls in info.classes.values():
+                self._classify_class(graph, info, cls)
+
+        # Phase 2: every function in every context, scanned for dispatches.
+        self._contexts: list[_FunctionCtx] = []
+        for info in graph.iter_modules():
+            for fn in info.functions.values():
+                self._contexts.append(_FunctionCtx(info, "", fn))
+            for cls in info.classes.values():
+                for node in cls.body:
+                    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        self._contexts.append(_FunctionCtx(info, cls.name, node))
+
+        findings: list[Finding] = []
+        for ctx in self._contexts:
+            findings.extend(self._scan_function(ctx))
+        return findings
+
+    # ------------------------------------------------------------------
+    # Phase 1: pool-owning classes.
+    # ------------------------------------------------------------------
+    def _classify_class(
+        self, graph: ModuleGraph, info: ModuleInfo, cls: ast.ClassDef
+    ) -> None:
+        pool_attrs: set[str] = set()
+        for node in ast.walk(cls):
+            if isinstance(node, (ast.Assign, ast.AnnAssign)):
+                value = node.value
+                if value is None or not _is_pool_construction(graph, info, value):
+                    continue
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        pool_attrs.add(target.attr)
+        if not pool_attrs:
+            return
+        self._pool_classes.add((info.name, cls.name))
+        for method in cls.body:
+            if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for node in ast.walk(method):
+                if isinstance(node, ast.Return) and node.value is not None:
+                    value = node.value
+                    if (
+                        isinstance(value, ast.Attribute)
+                        and isinstance(value.value, ast.Name)
+                        and value.value.id == "self"
+                        and value.attr in pool_attrs
+                    ) or _is_pool_construction(graph, info, value):
+                        self._pool_returning.add((info.name, cls.name, method.name))
+
+    # ------------------------------------------------------------------
+    # Phase 2: dispatch scanning.
+    # ------------------------------------------------------------------
+    def _scan_function(self, ctx: _FunctionCtx) -> list[Finding]:
+        graph = self._graph
+        info = ctx.info
+        # Locals assigned a pool construction or a pool-class instance.
+        pool_locals: set[str] = set()
+        pool_class_locals: set[str] = set()
+        for node in ast.walk(ctx.fn):
+            if isinstance(node, (ast.Assign, ast.AnnAssign)):
+                value = node.value
+                if value is None:
+                    continue
+                is_pool = _is_pool_construction(graph, info, value)
+                is_instance = self._is_pool_class_value(info, value)
+                if not (is_pool or is_instance):
+                    continue
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        (pool_locals if is_pool else pool_class_locals).add(
+                            target.id
+                        )
+        # Annotated parameters of pool-class type count as instances too.
+        for arg in list(ctx.fn.args.args) + list(ctx.fn.args.kwonlyargs):
+            annotation = arg.annotation
+            if annotation is not None and self._is_pool_class_name(
+                info, annotation
+            ):
+                pool_class_locals.add(arg.arg)
+
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.fn):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr not in _DISPATCH_METHODS:
+                continue
+            if not self._is_pool_receiver(
+                ctx, func.value, pool_locals, pool_class_locals
+            ):
+                continue
+            findings.extend(self._check_dispatch(ctx, node))
+        return findings
+
+    def _is_pool_class_value(self, info: ModuleInfo, value: ast.expr) -> bool:
+        if not isinstance(value, ast.Call):
+            return False
+        return self._is_pool_class_name(info, value.func) or (
+            self._returns_pool_class(info, value)
+        )
+
+    def _is_pool_class_name(self, info: ModuleInfo, node: ast.expr) -> bool:
+        dotted = dotted_name(node)
+        if dotted is None:
+            # ``"PairPool"`` string annotations (forward refs).
+            if isinstance(node, ast.Constant) and isinstance(node.value, str):
+                dotted = node.value
+            else:
+                return False
+        resolved = self._graph.resolve_symbol(info, dotted)
+        if resolved is None:
+            return False
+        owner, sym = resolved
+        return (
+            isinstance(sym, ast.ClassDef)
+            and (owner.name, sym.name) in self._pool_classes
+        )
+
+    def _returns_pool_class(self, info: ModuleInfo, call: ast.Call) -> bool:
+        """``shared_pair_pool()``-style factories returning a pool class."""
+        dotted = dotted_name(call.func)
+        if dotted is None:
+            return False
+        resolved = self._graph.resolve_symbol(info, dotted)
+        if resolved is None:
+            return False
+        owner, sym = resolved
+        if not isinstance(sym, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return False
+        returns = sym.returns
+        return returns is not None and self._is_pool_class_name(owner, returns)
+
+    def _is_pool_receiver(
+        self,
+        ctx: _FunctionCtx,
+        receiver: ast.expr,
+        pool_locals: set[str],
+        pool_class_locals: set[str],
+    ) -> bool:
+        info = ctx.info
+        if isinstance(receiver, ast.Name):
+            return receiver.id in pool_locals or receiver.id in pool_class_locals
+        if isinstance(receiver, ast.Attribute) and isinstance(
+            receiver.value, ast.Name
+        ):
+            if receiver.value.id == "self" and ctx.cls_name:
+                # self._executor.map(...) inside a pool-owning class.
+                return (info.name, ctx.cls_name) in self._pool_classes
+        if isinstance(receiver, ast.Call):
+            # self._ensure_executor().map(...) — method returning the pool.
+            func = receiver.func
+            if (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "self"
+                and ctx.cls_name
+            ):
+                return (
+                    info.name,
+                    ctx.cls_name,
+                    func.attr,
+                ) in self._pool_returning
+            if _is_pool_construction(self._graph, info, receiver):
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Callable / payload classification.
+    # ------------------------------------------------------------------
+    def _check_dispatch(self, ctx: _FunctionCtx, call: ast.Call) -> list[Finding]:
+        findings: list[Finding] = []
+        args = list(call.args)
+        if not args:
+            return findings
+        # First positional arg is the callable for both submit and map.
+        findings.extend(self._check_callable(ctx, call, args[0], depth=0))
+        # Any lambda in the remaining payload fails to pickle outright.
+        for arg in args[1:]:
+            for node in ast.walk(arg):
+                if isinstance(node, ast.Lambda):
+                    findings.append(
+                        self._payload_finding(
+                            ctx, node, "a lambda in the payload"
+                        )
+                    )
+        return findings
+
+    def _check_callable(
+        self, ctx: _FunctionCtx, call: ast.Call, arg: ast.expr, depth: int
+    ) -> list[Finding]:
+        info = ctx.info
+        if isinstance(arg, ast.Lambda):
+            return [
+                self._callable_finding(
+                    ctx, arg, "a lambda", "lambdas have no qualified name"
+                )
+            ]
+        if isinstance(arg, ast.Attribute):
+            return [
+                self._callable_finding(
+                    ctx,
+                    arg,
+                    f"the bound method `{ast.unparse(arg)}`",
+                    "bound methods pickle their whole instance (or fail)",
+                )
+            ]
+        if not isinstance(arg, ast.Name):
+            return []  # unknown shape: under-approximate
+        name = arg.id
+        # Nested def in the same function?
+        for node in ast.walk(ctx.fn):
+            if (
+                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node is not ctx.fn
+                and node.name == name
+            ):
+                return [
+                    self._callable_finding(
+                        ctx,
+                        arg,
+                        f"the nested function `{name}`",
+                        "nested functions are not importable by the worker",
+                    )
+                ]
+        # Module-level function (local or resolved through an import)?
+        resolved = self._graph.resolve_symbol(info, name)
+        if resolved is not None and isinstance(
+            resolved[1], (ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            return []
+        # A parameter of the enclosing function: chase callers.
+        params = [a.arg for a in ctx.fn.args.args]
+        if name in params and depth < _MAX_CHASE_DEPTH:
+            return self._chase_parameter(ctx, name, params.index(name), depth)
+        return []
+
+    def _chase_parameter(
+        self, ctx: _FunctionCtx, param: str, position: int, depth: int
+    ) -> list[Finding]:
+        """Classify what callers pass for a callable parameter.
+
+        Callers are found by name across the project: plain calls to a
+        module-level function, or ``<recv>.method(...)`` for methods (the
+        ``self`` slot shifts positional args by one).  Unresolvable callers
+        are skipped — under-approximation again.
+        """
+        findings: list[Finding] = []
+        is_method = bool(ctx.cls_name)
+        arg_index = position - 1 if is_method else position
+        if arg_index < 0:
+            return findings
+        for caller_ctx in self._contexts:
+            for node in ast.walk(caller_ctx.fn):
+                if not isinstance(node, ast.Call):
+                    continue
+                if not self._calls_target(caller_ctx, node, ctx, is_method):
+                    continue
+                value = self._argument_at(node, arg_index, param)
+                if value is None:
+                    continue
+                findings.extend(
+                    self._check_callable(caller_ctx, node, value, depth + 1)
+                )
+        return findings
+
+    def _calls_target(
+        self,
+        caller_ctx: _FunctionCtx,
+        call: ast.Call,
+        target_ctx: _FunctionCtx,
+        is_method: bool,
+    ) -> bool:
+        func = call.func
+        if is_method:
+            # ``<recv>.map(...)`` only counts as a call of ``Cls.map`` when
+            # the receiver shows evidence of being a ``Cls`` instance —
+            # matching on the method name alone would drag in every
+            # ``.map()`` in the project (ThreadPoolExecutor, builtins).
+            if not (
+                isinstance(func, ast.Attribute)
+                and func.attr == target_ctx.fn.name
+            ):
+                return False
+            return self._receiver_is_instance(
+                caller_ctx, func.value, target_ctx
+            )
+        dotted = dotted_name(func)
+        if dotted is None:
+            return False
+        resolved = self._graph.resolve_symbol(caller_ctx.info, dotted)
+        return resolved is not None and resolved[1] is target_ctx.fn
+
+    def _receiver_is_instance(
+        self,
+        caller_ctx: _FunctionCtx,
+        receiver: ast.expr,
+        target_ctx: _FunctionCtx,
+    ) -> bool:
+        target_cls = target_ctx.cls_name
+        info = caller_ctx.info
+        if (
+            isinstance(receiver, ast.Name)
+            and receiver.id == "self"
+            and caller_ctx.cls_name == target_cls
+            and caller_ctx.info is target_ctx.info
+        ):
+            return True
+        def names_target_class(node: ast.expr) -> bool:
+            dotted = dotted_name(node)
+            if dotted is None and isinstance(node, ast.Constant) and isinstance(
+                node.value, str
+            ):
+                dotted = node.value
+            if dotted is None:
+                return False
+            resolved = self._graph.resolve_symbol(info, dotted)
+            return (
+                resolved is not None
+                and resolved[0] is target_ctx.info
+                and isinstance(resolved[1], ast.ClassDef)
+                and resolved[1].name == target_cls
+            )
+        if not isinstance(receiver, ast.Name):
+            return False
+        name = receiver.id
+        # Annotated parameter of the target class.
+        for arg in list(caller_ctx.fn.args.args) + list(
+            caller_ctx.fn.args.kwonlyargs
+        ):
+            if arg.arg == name and arg.annotation is not None:
+                if names_target_class(arg.annotation):
+                    return True
+        # Local assigned from the class constructor or an annotated factory.
+        for node in ast.walk(caller_ctx.fn):
+            if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+                continue
+            value = node.value
+            if not isinstance(value, ast.Call):
+                continue
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            if not any(
+                isinstance(t, ast.Name) and t.id == name for t in targets
+            ):
+                continue
+            if names_target_class(value.func):
+                return True
+            factory = dotted_name(value.func)
+            if factory is not None:
+                resolved = self._graph.resolve_symbol(info, factory)
+                if resolved is not None and isinstance(
+                    resolved[1], (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    returns = resolved[1].returns
+                    if returns is not None and names_target_class(returns):
+                        return True
+        return False
+
+    @staticmethod
+    def _argument_at(
+        call: ast.Call, index: int, param: str
+    ) -> ast.expr | None:
+        for kw in call.keywords:
+            if kw.arg == param:
+                return kw.value
+        if index < len(call.args):
+            return call.args[index]
+        return None
+
+    # ------------------------------------------------------------------
+    def _callable_finding(
+        self, ctx: _FunctionCtx, node: ast.AST, what: str, why: str
+    ) -> Finding:
+        context = (
+            f"{ctx.cls_name}.{ctx.fn.name}" if ctx.cls_name else ctx.fn.name
+        )
+        return self.finding(
+            ctx.info.source,
+            node,
+            f"{what} is dispatched to a process pool in `{context}`; {why} — "
+            f"hoist it to a module-level function",
+            key_context=f"{context}.callable",
+        )
+
+    def _payload_finding(
+        self, ctx: _FunctionCtx, node: ast.AST, what: str
+    ) -> Finding:
+        context = (
+            f"{ctx.cls_name}.{ctx.fn.name}" if ctx.cls_name else ctx.fn.name
+        )
+        return self.finding(
+            ctx.info.source,
+            node,
+            f"{what} is shipped to a process pool in `{context}`; lambdas "
+            f"cannot pickle — precompute the value or pass a module-level "
+            f"function",
+            key_context=f"{context}.payload",
+        )
+
+
+register(PoolPayloadChecker)

@@ -217,6 +217,26 @@ def render_text(result: LintResult, show_suppressed: bool = False) -> str:
 
 
 def render_json(result: LintResult, show_suppressed: bool = False) -> str:
+    # ``per_checker`` counts every disposition so the CI artifact
+    # (LINT_9.json) can graph per-checker totals even on a clean run;
+    # ``suppressions`` is the inventory of inline ``# repro: ignore[...]``
+    # uses, always present so the gate can audit them.
+    per_checker: dict[str, dict[str, int]] = {
+        checker_id: {"findings": 0, "suppressed": 0, "allowlisted": 0}
+        for checker_id in result.checkers
+    }
+    for finding in result.findings:
+        per_checker.setdefault(
+            finding.checker, {"findings": 0, "suppressed": 0, "allowlisted": 0}
+        )["findings"] += 1
+    for finding in result.suppressed:
+        per_checker.setdefault(
+            finding.checker, {"findings": 0, "suppressed": 0, "allowlisted": 0}
+        )["suppressed"] += 1
+    for finding in result.allowlisted:
+        per_checker.setdefault(
+            finding.checker, {"findings": 0, "suppressed": 0, "allowlisted": 0}
+        )["allowlisted"] += 1
     payload: dict[str, object] = {
         "status": "clean" if result.clean else "findings",
         "findings": [f.to_dict() for f in result.findings],
@@ -224,6 +244,15 @@ def render_json(result: LintResult, show_suppressed: bool = False) -> str:
         "allowlisted_count": len(result.allowlisted),
         "files_scanned": result.files_scanned,
         "checkers": result.checkers,
+        "per_checker": per_checker,
+        "suppressions": [
+            {
+                "checker": f.checker,
+                "key": f.key,
+                "location": f.location(),
+            }
+            for f in result.suppressed
+        ],
     }
     if show_suppressed:
         payload["suppressed"] = [f.to_dict() for f in result.suppressed]

@@ -30,6 +30,7 @@ evaluations across schemes and figures instead of re-running the engine.
 from __future__ import annotations
 
 # repro: kernel
+import os
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -812,7 +813,7 @@ class SharedEstimateCache(EstimateCache):
 
     def __init__(self, max_entries: int = 500_000, decimals: int = 12) -> None:
         super().__init__(max_entries=max_entries, decimals=decimals)
-        self._lock = make_lock(reentrant=True)
+        self._lock = make_lock("estimate-cache", reentrant=True)
 
     def totals(
         self, steps: Sequence[StepCost], ratio_matrix: ArrayLike
@@ -869,7 +870,7 @@ class SharedEstimateCache(EstimateCache):
 #: plan service, so repeated planning of similar workloads warms up across
 #: call sites instead of each caller paying for a private throwaway cache.
 _SHARED_CACHE: SharedEstimateCache | None = None
-_SHARED_CACHE_LOCK = threading.Lock()
+_SHARED_CACHE_LOCK = make_lock("shared-cache-init")
 
 #: Default bound of the process-wide cache; smaller than a private cache's
 #: default because it lives for the whole process.
@@ -891,3 +892,16 @@ def reset_shared_estimate_cache() -> SharedEstimateCache:
     with _SHARED_CACHE_LOCK:
         _SHARED_CACHE = SharedEstimateCache(max_entries=SHARED_CACHE_MAX_ENTRIES)
         return _SHARED_CACHE
+
+
+def _reset_shared_cache_after_fork() -> None:
+    # A forked child inherits the singleton and its init lock as raw memory:
+    # the lock may be held by a parent thread that no longer exists, and the
+    # cache's own lock likewise.  Dropping both makes first use in the child
+    # rebuild a private cache instead of deadlocking on ghosts.
+    global _SHARED_CACHE, _SHARED_CACHE_LOCK
+    _SHARED_CACHE_LOCK = make_lock("shared-cache-init")
+    _SHARED_CACHE = None
+
+
+os.register_at_fork(after_in_child=_reset_shared_cache_after_fork)

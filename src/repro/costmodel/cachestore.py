@@ -42,6 +42,7 @@ import os
 import sqlite3
 import threading
 import time
+import weakref
 from typing import Any, Callable, Iterable, Sequence
 
 import numpy as np
@@ -112,6 +113,31 @@ _SCHEMA = (
 
 class CacheStoreError(RuntimeError):
     """The persistent store cannot be opened (missing, corrupt, wrong schema)."""
+
+
+# ---------------------------------------------------------------------------
+# Fork safety.  SQLite forbids using a connection carried across ``fork()``;
+# the pre-fork serving pool and the pair-join pool both fork with live
+# stores.  Every store registers itself here and is re-initialised in the
+# child: fresh locks (a parent thread may hold the inherited ones), fresh
+# wake event, cleared write-behind queues (the parent owns those rows and
+# will flush them), and a freshly opened connection.
+# ---------------------------------------------------------------------------
+_LIVE_STORES: "weakref.WeakSet[EstimateCacheStore]" = weakref.WeakSet()
+
+#: Connections inherited from the parent are parked here in the child and
+#: never closed: deallocating one would run sqlite3_close, whose automatic
+#: rollback of any in-flight parent transaction writes through the shared
+#: WAL.  Abandoning the handle is the only fork-safe disposition.
+_ABANDONED_CONNS: list[sqlite3.Connection] = []
+
+
+def _reopen_stores_after_fork() -> None:
+    for store in list(_LIVE_STORES):
+        store._reopen_after_fork()
+
+
+os.register_at_fork(after_in_child=_reopen_stores_after_fork)
 
 
 # ---------------------------------------------------------------------------
@@ -203,8 +229,9 @@ class EstimateCacheStore:
         self.flush_interval_s = flush_interval_s
         self.flush_batch = flush_batch
         self.synchronous = synchronous
-        self._queue_lock = make_lock()
-        self._db_lock = make_lock()
+        self.timeout_s = timeout_s
+        self._queue_lock = make_lock("cachestore-queue")
+        self._db_lock = make_lock("cachestore-db")
         self._pending_totals: list[tuple[bytes, bytes, bytes, float]] = []
         self._pending_estimates: list[tuple[bytes, bytes, bytes, str]] = []
         self._wake = threading.Event()
@@ -215,16 +242,7 @@ class EstimateCacheStore:
         self.reads = 0
         self.read_rows = 0
         try:
-            # isolation_level=None puts sqlite3 in autocommit mode; every
-            # multi-statement section below brackets itself with explicit
-            # BEGIN/COMMIT so transaction scope is visible, not implied.
-            self._conn = sqlite3.connect(
-                self.path, timeout=timeout_s, check_same_thread=False,
-                isolation_level=None,
-            )
-            self._conn.execute("PRAGMA journal_mode=WAL")
-            self._conn.execute(f"PRAGMA synchronous={synchronous}")
-            self._conn.execute(f"PRAGMA busy_timeout={int(timeout_s * 1000)}")
+            self._conn = self._open_connection()
             for statement in _SCHEMA:
                 self._conn.execute(statement)
             self._check_schema_version()
@@ -232,10 +250,51 @@ class EstimateCacheStore:
             raise CacheStoreError(
                 f"cannot open estimate cache store at {self.path!r}: {exc}"
             ) from exc
+        self._start_flusher()
+        _LIVE_STORES.add(self)
+
+    def _open_connection(self) -> sqlite3.Connection:
+        # isolation_level=None puts sqlite3 in autocommit mode; every
+        # multi-statement section below brackets itself with explicit
+        # BEGIN/COMMIT so transaction scope is visible, not implied.
+        conn = sqlite3.connect(
+            self.path, timeout=self.timeout_s, check_same_thread=False,
+            isolation_level=None,
+        )
+        conn.execute("PRAGMA journal_mode=WAL")
+        conn.execute(f"PRAGMA synchronous={self.synchronous}")
+        conn.execute(f"PRAGMA busy_timeout={int(self.timeout_s * 1000)}")
+        return conn
+
+    def _start_flusher(self) -> None:
         self._flusher = threading.Thread(
             target=self._flush_loop, name="cachestore-flush", daemon=True
         )
         self._flusher.start()
+
+    def _reopen_after_fork(self) -> None:
+        """Re-initialise this store inside a freshly forked child.
+
+        Runs from the module's ``os.register_at_fork`` hook.  The inherited
+        locks may be held by parent threads that did not survive the fork,
+        the flusher thread is gone, the pending queues belong to the parent
+        (it will flush them), and the connection must never be used — or
+        closed — from the child (see ``_ABANDONED_CONNS``).
+        """
+        _ABANDONED_CONNS.append(self._conn)
+        self._queue_lock = make_lock("cachestore-queue")
+        self._db_lock = make_lock("cachestore-db")
+        self._wake = threading.Event()
+        self._pending_totals = []
+        self._pending_estimates = []
+        if self._closed or self._dead:
+            return  # every data path already early-returns; nothing to revive
+        try:
+            self._conn = self._open_connection()
+        except sqlite3.Error:
+            self._dead = True
+            return
+        self._start_flusher()
 
     def _check_schema_version(self) -> None:
         row = self._conn.execute(

@@ -21,6 +21,7 @@ import numpy as np
 
 from ..data.relation import Relation
 from ..hardware.cache import WorkingSet
+from ..opencl.allocator import MemoryAllocator
 from .hashtable import (
     HEADER_VISIT_INSTRUCTIONS,
     KEY_NODE_BYTES,
@@ -68,7 +69,7 @@ def join_pair_coarse(
     probe_hashes: np.ndarray | None,
     config: HashJoinConfig,
     reuse_hashes: bool,
-    allocator,
+    allocator: MemoryAllocator,
 ) -> tuple[tuple[float, float, float, float], JoinResult, int]:
     """Join one pair as a single coarse work item.
 

@@ -20,14 +20,17 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-import threading
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Callable, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 import numpy as np
 
+from ..locking import make_lock
 from ..opencl.allocator import AllocatorStats, MemoryAllocator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from .simple import HashJoinConfig
 
 __all__ = [
     "PairPool",
@@ -123,7 +126,7 @@ class PairPool:
         return f"PairPool(n_workers={self.n_workers}, {state})"
 
 
-_POOLS_GUARD = threading.Lock()
+_POOLS_GUARD = make_lock("pair-pools")
 _POOLS: dict[int, PairPool] = {}
 
 
@@ -136,6 +139,22 @@ def shared_pair_pool(n_workers: int | None = None) -> PairPool:
             pool = PairPool(key)
             _POOLS[key] = pool
         return pool
+
+
+def _reset_pools_after_fork() -> None:
+    # A forked child inherits the pool registry, but the executors' worker
+    # processes and management threads belong to the parent: shutting them
+    # down from the child would hang, and reusing them is corruption.  Drop
+    # the executor references without shutdown and let first use in the
+    # child build fresh pools under a fresh (never parent-held) guard.
+    global _POOLS_GUARD
+    _POOLS_GUARD = make_lock("pair-pools")
+    for pool in _POOLS.values():
+        pool._executor = None
+    _POOLS.clear()
+
+
+os.register_at_fork(after_in_child=_reset_pools_after_fork)
 
 
 # ---------------------------------------------------------------------------
@@ -151,7 +170,7 @@ class ChunkOutcome:
     arena_bumps: int = 0
 
 
-def _run_fine_chunk(payload: tuple) -> ChunkOutcome:
+def _run_fine_chunk(payload: tuple[Any, ...]) -> ChunkOutcome:
     """Join a chunk of pairs with the fine-grained SHJ steps (worker side)."""
     from .partition import join_partition_pair
 
@@ -172,7 +191,7 @@ def _run_fine_chunk(payload: tuple) -> ChunkOutcome:
     )
 
 
-def _run_coarse_chunk(payload: tuple) -> ChunkOutcome:
+def _run_coarse_chunk(payload: tuple[Any, ...]) -> ChunkOutcome:
     """Join a chunk of pairs as coarse per-pair work items (worker side)."""
     from .coarse import join_pair_coarse
 
@@ -194,9 +213,9 @@ def _run_coarse_chunk(payload: tuple) -> ChunkOutcome:
 
 
 def _run_pairs(
-    worker: Callable[[tuple], ChunkOutcome],
-    pairs: Sequence[tuple],
-    config,
+    worker: Callable[[tuple[Any, ...]], ChunkOutcome],
+    pairs: Sequence[tuple[Any, ...]],
+    config: "HashJoinConfig",
     reuse_hashes: bool,
     arena_capacity: int,
     allocator: MemoryAllocator,
@@ -219,13 +238,13 @@ def _run_pairs(
 
 
 def run_fine_pairs(
-    pairs: Sequence[tuple],
-    config,
+    pairs: Sequence[tuple[Any, ...]],
+    config: "HashJoinConfig",
     reuse_hashes: bool,
     arena_capacity: int,
     allocator: MemoryAllocator,
     n_workers: int | None = None,
-) -> list[tuple]:
+) -> list[tuple[Any, ...]]:
     """Join ``pairs`` on the shared pool with fine-grained SHJ steps.
 
     Returns the per-pair ``(build series, probe series, result, table bytes)``
@@ -240,13 +259,13 @@ def run_fine_pairs(
 
 
 def run_coarse_pairs(
-    pairs: Sequence[tuple],
-    config,
+    pairs: Sequence[tuple[Any, ...]],
+    config: "HashJoinConfig",
     reuse_hashes: bool,
     arena_capacity: int,
     allocator: MemoryAllocator,
     n_workers: int | None = None,
-) -> list[tuple]:
+) -> list[tuple[Any, ...]]:
     """Join ``pairs`` on the shared pool as coarse per-pair work items."""
     return _run_pairs(
         _run_coarse_chunk, pairs, config, reuse_hashes, arena_capacity, allocator,

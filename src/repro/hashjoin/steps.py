@@ -22,7 +22,7 @@ from __future__ import annotations
 
 # repro: kernel
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Iterator, Sequence
 
 import numpy as np
 
@@ -286,7 +286,7 @@ class StepSeries:
     def step_names(self) -> list[str]:
         return [e.step.name for e in self.executions]
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[StepExecution]:
         return iter(self.executions)
 
     def __getitem__(self, index: int) -> StepExecution:

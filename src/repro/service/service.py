@@ -128,7 +128,7 @@ class PlanService:
         #: not on its first PL request.
         validate_speculation(speculation)
         self.speculation = speculation
-        self._lock = make_lock()
+        self._lock = make_lock("plan-service")
         self.requests_served = 0
         self.tasks_solved = 0
         self.requests_deduplicated = 0

@@ -1,0 +1,21 @@
+"""Fork boundary of the clean twin: child-branch touches are not findings.
+
+The socket listener is closed inside the recognised ``pid == 0`` child
+branch — exactly the right post-fork move — so it must not be flagged even
+though no at-fork handler mentions it.
+"""
+
+import os
+import socket
+
+LISTENER = socket.socket()
+
+from . import resources
+
+
+def serve():
+    pid = os.fork()
+    if pid == 0:
+        LISTENER.close()
+        resources.get_pool(2)
+    return pid

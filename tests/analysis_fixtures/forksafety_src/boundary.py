@@ -1,0 +1,17 @@
+"""The fork boundary of the seeded fork-safety fixture project.
+
+Forks via ``os.fork`` and touches nothing in the child branch, so every
+resource in the imported ``resources`` module counts as crossing the
+boundary un-reinitialised.
+"""
+
+import os
+
+from . import resources
+
+
+def serve():
+    pid = os.fork()
+    if pid == 0:
+        resources.get_pool(2)
+    return pid

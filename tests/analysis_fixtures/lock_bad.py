@@ -5,6 +5,9 @@ Expected findings:
   * ``Counter.__repr__`` reads ``self.count`` outside the lock.
   * ``SafeBase.peek`` (inherited, not overridden by ``SharedChild``) reads
     ``self.value`` outside the lock.
+  * Both ``__init__`` methods construct raw ``threading.Lock()`` instead of
+    ``make_lock(name)`` (ISSUE 9 rule: unnamed locks are invisible to the
+    lock-order pass and the runtime sanitizer).
 """
 
 import threading
@@ -12,7 +15,7 @@ import threading
 
 class Counter:
     def __init__(self):
-        self._lock = threading.Lock()
+        self._lock = threading.Lock()  # SEED: raw construction
         self.count = 0
 
     def bump(self):
@@ -41,7 +44,7 @@ class SafeBase:
 
 class SharedChild(SafeBase):
     def __init__(self):
-        self._lock = threading.Lock()
+        self._lock = threading.Lock()  # SEED: raw construction
         self.value = 0
 
     def set(self, v):

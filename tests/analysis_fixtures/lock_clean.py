@@ -1,13 +1,11 @@
 """Clean twin of lock_bad.py: every guarded access is under the lock."""
 
-import threading
-
 from repro.locking import make_lock
 
 
 class Counter:
     def __init__(self):
-        self._lock = threading.Lock()
+        self._lock = make_lock("fixture-counter")
         self.count = 0
 
     def bump(self):
@@ -36,7 +34,7 @@ class SafeBase:
 class SharedChild(SafeBase):
     def __init__(self):
         # make_lock must count as lock ownership for the checker.
-        self._lock = make_lock()
+        self._lock = make_lock("fixture-shared-child")
         self.value = 0
 
     def set(self, v):

@@ -1,0 +1,39 @@
+"""Seeded lock-order violations (see tests/test_analysis.py).
+
+Expected findings:
+
+  * a two-lock cycle: ``transfer`` takes ``fixture-a`` then ``fixture-b``
+    (nested ``with``), while ``audit`` holds ``fixture-b`` and calls
+    ``grab_a`` whose body takes ``fixture-a`` — the interprocedural edge
+    closes the cycle;
+  * a self-deadlock: ``recount`` re-enters the non-reentrant
+    ``fixture-self`` lock.
+"""
+
+from repro.locking import make_lock
+
+LOCK_A = make_lock("fixture-a")
+LOCK_B = make_lock("fixture-b")
+LOCK_SELF = make_lock("fixture-self")
+
+
+def transfer():
+    with LOCK_A:
+        with LOCK_B:  # SEED: records fixture-a -> fixture-b
+            pass
+
+
+def grab_a():
+    with LOCK_A:
+        pass
+
+
+def audit():
+    with LOCK_B:
+        grab_a()  # SEED: interprocedural fixture-b -> fixture-a
+
+
+def recount():
+    with LOCK_SELF:
+        with LOCK_SELF:  # SEED: non-reentrant re-acquisition
+            pass

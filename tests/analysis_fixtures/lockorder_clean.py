@@ -1,0 +1,34 @@
+"""Clean twin of lockorder_bad.py: one global order, reentrancy declared.
+
+Both multi-lock paths take ``fixture-c1`` before ``fixture-c2`` (no cycle),
+and the re-entered lock is constructed ``reentrant=True`` so its self-edge
+is legitimate.
+"""
+
+from repro.locking import make_lock
+
+LOCK_1 = make_lock("fixture-c1")
+LOCK_2 = make_lock("fixture-c2")
+LOCK_RE = make_lock("fixture-re", reentrant=True)
+
+
+def transfer():
+    with LOCK_1:
+        with LOCK_2:
+            pass
+
+
+def grab_two():
+    with LOCK_2:
+        pass
+
+
+def audit():
+    with LOCK_1:
+        grab_two()  # same order as transfer: 1 -> 2
+
+
+def recount():
+    with LOCK_RE:
+        with LOCK_RE:  # fine: declared reentrant
+            pass

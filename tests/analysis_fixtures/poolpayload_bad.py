@@ -1,0 +1,53 @@
+"""Seeded pool-payload violations (see tests/test_analysis.py).
+
+Expected findings:
+
+  * ``run_direct`` submits a lambda,
+  * ``run_nested`` maps a nested function,
+  * ``Dispatcher.run`` maps a bound method through the pool-owning class,
+  * ``run_payload`` ships a lambda inside the payload arguments,
+  * ``run_wrapped`` passes a lambda into ``Dispatcher.launch`` — caught by
+    chasing the ``fn`` parameter one level up the call graph.
+"""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def run_direct(items):
+    pool = ProcessPoolExecutor(max_workers=2)
+    return list(pool.map(lambda x: x + 1, items))  # SEED: lambda callable
+
+
+def run_nested(items):
+    def helper(x):  # SEED target: nested def
+        return x * 2
+
+    pool = ProcessPoolExecutor(max_workers=2)
+    return list(pool.map(helper, items))
+
+
+def scale(x):
+    return x * 3
+
+
+class Dispatcher:
+    def __init__(self):
+        self._executor = ProcessPoolExecutor(max_workers=2)
+
+    def _grow(self, x):
+        return x + 1
+
+    def run(self, items):
+        return list(self._executor.map(self._grow, items))  # SEED: bound method
+
+    def launch(self, fn, items):
+        return list(self._executor.map(fn, items))
+
+
+def run_payload(items):
+    pool = ProcessPoolExecutor(max_workers=2)
+    return pool.submit(scale, lambda: items)  # SEED: lambda in payload
+
+
+def run_wrapped(dispatcher: Dispatcher, items):
+    return dispatcher.launch(lambda x: x - 1, items)  # SEED: via parameter

@@ -1,0 +1,37 @@
+"""Clean twin of poolpayload_bad.py: module-level callables everywhere.
+
+Also proves the pass stays quiet on thread pools (no pickling) and on
+module-level workers routed through a pool-owning class's dispatch method.
+"""
+
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+
+def scale(x):
+    return x * 3
+
+
+def run_direct(items):
+    pool = ProcessPoolExecutor(max_workers=2)
+    return list(pool.map(scale, items))
+
+
+def run_threads(items):
+    # ThreadPoolExecutor never pickles: lambdas are fine here.
+    pool = ThreadPoolExecutor(max_workers=2)
+    return list(pool.map(lambda x: x + 1, items))
+
+
+class Dispatcher:
+    def __init__(self):
+        self._executor = ProcessPoolExecutor(max_workers=2)
+
+    def _ensure(self):
+        return self._executor
+
+    def launch(self, fn, items):
+        return list(self._ensure().map(fn, items))
+
+
+def run_wrapped(dispatcher: Dispatcher, items):
+    return dispatcher.launch(scale, items)

@@ -41,7 +41,7 @@ def check_file(checker_id: str, rel: str):
 # Framework basics
 # ---------------------------------------------------------------------------
 class TestFramework:
-    def test_five_checkers_registered(self):
+    def test_eight_checkers_registered(self):
         ids = set(all_checkers())
         assert {
             "lock-discipline",
@@ -49,6 +49,9 @@ class TestFramework:
             "numpy-hygiene",
             "async-blocking",
             "wire-precision",
+            "fork-safety",
+            "lock-order",
+            "pool-payload",
         } <= ids
 
     def test_finding_keys_are_symbol_based_not_line_based(self):
@@ -60,10 +63,10 @@ class TestFramework:
 
     def test_inline_suppression_moves_finding_to_suppressed(self, tmp_path):
         text = (
-            "import threading\n"
+            "from repro.locking import make_lock\n"
             "class C:\n"
             "    def __init__(self):\n"
-            "        self._lock = threading.Lock()\n"
+            "        self._lock = make_lock('c')\n"
             "        self.n = 0\n"
             "    def bump(self):\n"
             "        with self._lock:\n"
@@ -81,10 +84,10 @@ class TestFramework:
     def test_file_level_suppression(self, tmp_path):
         text = (
             "# repro: ignore-file[lock-discipline]\n"
-            "import threading\n"
+            "from repro.locking import make_lock\n"
             "class C:\n"
             "    def __init__(self):\n"
-            "        self._lock = threading.Lock()\n"
+            "        self._lock = make_lock('c')\n"
             "        self.n = 0\n"
             "    def bump(self):\n"
             "        with self._lock:\n"
@@ -120,11 +123,13 @@ class TestFramework:
 class TestLockDiscipline:
     def test_catches_seeded_violations(self):
         findings = check_file("lock-discipline", "lock_bad.py")
-        contexts = sorted(f.key.rsplit(":", 1)[-1] for f in findings)
+        contexts = sorted(f.key.split(":", 2)[-1] for f in findings)
         assert contexts == [
             "Counter.__repr__.count",
             "Counter.read_unlocked.count",
             "SharedChild.peek.value",
+            "raw-lock:Counter.__init__",
+            "raw-lock:SharedChild.__init__",
         ]
 
     def test_clean_twin_is_quiet(self):
@@ -222,6 +227,146 @@ class TestWirePrecision:
 
 
 # ---------------------------------------------------------------------------
+# The repo graph (ISSUE 9 whole-program phase)
+# ---------------------------------------------------------------------------
+class TestModuleGraph:
+    def test_module_names_strip_src_and_collapse_init(self):
+        from repro.analysis.graph import module_name_for
+
+        assert module_name_for("src/repro/hashjoin/parallel.py") == (
+            "repro.hashjoin.parallel"
+        )
+        assert module_name_for("src/repro/analysis/__init__.py") == "repro.analysis"
+        assert module_name_for("forksafety_src/boundary.py") == (
+            "forksafety_src.boundary"
+        )
+
+    def test_closure_follows_relative_imports(self):
+        project = Project(
+            src_files=[
+                fixture_source("forksafety_src/boundary.py"),
+                fixture_source("forksafety_src/resources.py"),
+            ]
+        )
+        graph = project.graph()
+        closure = graph.closure(["forksafety_src.boundary"])
+        assert closure == {
+            "forksafety_src.boundary",
+            "forksafety_src.resources",
+        }
+
+    def test_alias_resolution_expands_import_as(self, tmp_path):
+        text = "import numpy as np\nimport os\n"
+        path = tmp_path / "m.py"
+        path.write_text(text)
+        project = Project(src_files=[SourceFile(path, "m.py", text)])
+        graph = project.graph()
+        info = graph.by_rel["m.py"]
+        assert graph.resolve_target(info, "np.random.default_rng") == (
+            "numpy.random.default_rng"
+        )
+        assert graph.resolve_target(info, "os.fork") == "os.fork"
+
+    def test_graph_is_cached_on_the_project(self):
+        project = Project(src_files=[fixture_source("lockorder_clean.py")])
+        assert project.graph() is project.graph()
+
+
+# ---------------------------------------------------------------------------
+# Checker: fork-safety (cross-file)
+# ---------------------------------------------------------------------------
+class TestForkSafety:
+    def project(self, kind: str) -> Project:
+        return Project(
+            src_files=[
+                fixture_source(f"forksafety_{kind}/boundary.py"),
+                fixture_source(f"forksafety_{kind}/resources.py"),
+            ]
+        )
+
+    def test_catches_seeded_violations(self):
+        findings = get_checker("fork-safety").check_project(self.project("src"))
+        contexts = sorted(f.key.split(":", 2)[-1] for f in findings)
+        assert contexts == [
+            "DB",
+            "GUARD",
+            "POOLS",
+            "StoreLike._conn",
+            "StoreLike._worker",
+        ]
+        assert all("fork boundary" in f.message or "forks" in f.message
+                   for f in findings)
+
+    def test_clean_twin_is_quiet(self):
+        findings = get_checker("fork-safety").check_project(self.project("clean"))
+        assert findings == []
+
+    def test_no_fork_boundary_means_no_findings(self):
+        # Module-level locks with no fork boundary anywhere in the project
+        # (lockorder_bad.py never forks) must be silent: resources are only
+        # hazards when a fork boundary can reach them.
+        project = Project(src_files=[fixture_source("lockorder_bad.py")])
+        assert get_checker("fork-safety").check_project(project) == []
+
+
+# ---------------------------------------------------------------------------
+# Checker: lock-order (cross-file)
+# ---------------------------------------------------------------------------
+class TestLockOrder:
+    def test_catches_seeded_cycle_and_self_deadlock(self):
+        project = Project(src_files=[fixture_source("lockorder_bad.py")])
+        findings = get_checker("lock-order").check_project(project)
+        contexts = sorted(f.key.split(":", 2)[-1] for f in findings)
+        assert contexts == [
+            "cycle:fixture-a->fixture-b",
+            "self-cycle:fixture-self",
+        ]
+        cycle = next(f for f in findings if "cycle:fixture-a" in f.key)
+        # Both witness sites appear so either thread's path is actionable.
+        assert "fixture-a" in cycle.message and "fixture-b" in cycle.message
+
+    def test_clean_twin_is_quiet(self):
+        project = Project(src_files=[fixture_source("lockorder_clean.py")])
+        assert get_checker("lock-order").check_project(project) == []
+
+    def test_cycle_key_is_stable_under_reordering(self):
+        # The key sorts lock names, so the same cycle found from the other
+        # direction grandfathers identically.
+        project = Project(src_files=[fixture_source("lockorder_bad.py")])
+        findings = get_checker("lock-order").check_project(project)
+        keys = {f.key for f in findings}
+        assert (
+            "lock-order:lockorder_bad.py:cycle:fixture-a->fixture-b" in keys
+        )
+
+
+# ---------------------------------------------------------------------------
+# Checker: pool-payload (cross-file)
+# ---------------------------------------------------------------------------
+class TestPoolPayload:
+    def test_catches_seeded_violations(self):
+        project = Project(src_files=[fixture_source("poolpayload_bad.py")])
+        findings = get_checker("pool-payload").check_project(project)
+        contexts = sorted(f.key.split(":", 2)[-1] for f in findings)
+        assert contexts == [
+            "Dispatcher.run.callable",
+            "run_direct.callable",
+            "run_nested.callable",
+            "run_payload.payload",
+            "run_wrapped.callable",
+        ]
+
+    def test_clean_twin_is_quiet(self):
+        project = Project(src_files=[fixture_source("poolpayload_clean.py")])
+        assert get_checker("pool-payload").check_project(project) == []
+
+    def test_thread_pools_are_never_flagged(self):
+        project = Project(src_files=[fixture_source("poolpayload_clean.py")])
+        findings = get_checker("pool-payload").check_project(project)
+        assert not any("run_threads" in f.key for f in findings)
+
+
+# ---------------------------------------------------------------------------
 # The repo itself must lint clean (the CI gate's contract)
 # ---------------------------------------------------------------------------
 class TestRepoIsClean:
@@ -230,7 +375,7 @@ class TestRepoIsClean:
         assert result.findings == [], "\n".join(
             f"{f.location()}: [{f.checker}] {f.message}" for f in result.findings
         )
-        assert len(result.checkers) >= 5
+        assert len(result.checkers) >= 8
 
 
 # ---------------------------------------------------------------------------
@@ -245,10 +390,10 @@ def seed_mini_repo(tmp_path: Path, violation: bool) -> Path:
         else "        with self._lock:\n            return self.n\n"
     )
     (src / "mod.py").write_text(
-        "import threading\n"
+        "from repro.locking import make_lock\n"
         "class C:\n"
         "    def __init__(self):\n"
-        "        self._lock = threading.Lock()\n"
+        "        self._lock = make_lock('mini')\n"
         "        self.n = 0\n"
         "    def bump(self):\n"
         "        with self._lock:\n"
@@ -282,6 +427,18 @@ class TestCli:
         assert finding["path"] == "src/mod.py"
         assert finding["line"] == 10
         assert finding["key"] == "lock-discipline:src/mod.py:C.peek.n"
+
+    def test_json_per_checker_counts_and_suppression_inventory(
+        self, tmp_path, capsys
+    ):
+        # The machine-readable artifact CI uploads (LINT_9.json) needs
+        # per-checker counts and the suppression inventory on every run.
+        root = seed_mini_repo(tmp_path, violation=True)
+        main(["lint", "--root", str(root), "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["per_checker"]["lock-discipline"]["findings"] == 1
+        assert payload["per_checker"]["fork-safety"]["findings"] == 0
+        assert payload["suppressions"] == []
 
     def test_allowlist_file_grandfathers_finding(self, tmp_path, capsys):
         root = seed_mini_repo(tmp_path, violation=True)

@@ -338,6 +338,74 @@ class TestPersistentEstimateCache:
 
 
 # ---------------------------------------------------------------------------
+# Fork safety (ISSUE 9): a forked child must never touch the inherited
+# SQLite connection — the at-fork hook parks it and reopens a fresh one.
+# ---------------------------------------------------------------------------
+class TestForkSafety:
+    @pytest.mark.skipif(not hasattr(os, "fork"), reason="requires os.fork")
+    def test_forked_child_reopens_store_and_reads_byte_exact(self, store_path):
+        rows = [(f"k{i:03d}".encode(), f"exact{i:03d}".encode(), float(i)) for i in range(50)]
+        store = EstimateCacheStore(store_path, flush_interval_s=3600.0)
+        store.enqueue_totals(b"fp", rows)
+        store.enqueue_estimate(b"fp", b"ek", b"exact-e", '{"x": 1.5}')
+        assert store.flush() == 51
+        # Leave a pending row the child must NOT inherit: the parent owns it.
+        store.enqueue_totals(b"fp", [(b"tail", b"e", 99.0)])
+
+        parent_conn = store._conn
+        pid = os.fork()
+        if pid == 0:
+            # Child: the at-fork hook already ran.  Never let pytest's
+            # machinery run in here — report via the exit code only.
+            try:
+                ok = (
+                    store._conn is not parent_conn
+                    and store.pending_rows() == 0
+                    and store.fetch_totals(b"fp", [k for k, _, _ in rows])
+                    == {k: (e, t) for k, e, t in rows}
+                    and store.fetch_estimate(b"fp", b"ek") == (b"exact-e", '{"x": 1.5}')
+                    and store._flusher.is_alive()
+                )
+            except BaseException:
+                ok = False
+            os._exit(0 if ok else 1)
+        _, status = os.waitpid(pid, 0)
+        assert os.waitstatus_to_exitcode(status) == 0
+        # The parent is untouched: same connection, pending row still queued.
+        assert store._conn is parent_conn
+        assert store.pending_rows() == 1
+        assert store.flush() == 1
+        assert store.fetch_totals(b"fp", [b"tail"]) == {b"tail": (b"e", 99.0)}
+        store.close()
+
+    def test_reopen_after_fork_parks_the_old_connection(self, store_path):
+        from repro.costmodel import cachestore as cs
+
+        store = EstimateCacheStore(store_path)
+        store.enqueue_totals(b"fp", [(b"k", b"e", 1.0)])
+        store.flush()
+        store.enqueue_totals(b"fp", [(b"pending", b"e", 2.0)])
+        old_conn = store._conn
+        store._reopen_after_fork()
+        # The inherited connection is abandoned, never closed: closing it
+        # would roll back a parent transaction through the shared WAL.
+        assert old_conn in cs._ABANDONED_CONNS
+        assert store._conn is not old_conn
+        assert store.pending_rows() == 0  # the parent owns the queued rows
+        assert store.fetch_totals(b"fp", [b"k"]) == {b"k": (b"e", 1.0)}
+        store.enqueue_totals(b"fp", [(b"k2", b"e", 3.0)])
+        assert store.flush() == 1  # the fresh connection writes
+        store.close()
+
+    def test_reopen_after_fork_leaves_closed_stores_closed(self, store_path):
+        store = EstimateCacheStore(store_path)
+        store.close()
+        store._reopen_after_fork()  # must not resurrect a closed store
+        assert store.fetch_totals(b"fp", [b"k"]) == {}
+        assert store.count_rows() == (0, 0)
+
+
+# ---------------------------------------------------------------------------
 # The fail-soft factory.
 # ---------------------------------------------------------------------------
 class TestOpenPersistentCache:
