@@ -44,6 +44,10 @@ BENCH7_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_7.json"
 #: measured serial-vs-parallel speedups and robustness counters here.
 BENCH8_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_8.json"
 
+#: The chaos gates (fault injection + failure recovery, PR 10) record their
+#: respawn latencies, retry counts and failover success rates here.
+BENCH10_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_10.json"
+
 
 @pytest.fixture(scope="session")
 def bench_tuples() -> int:
@@ -62,6 +66,9 @@ def _fresh_report() -> None:
         json.dumps({"cpu_count": os.cpu_count(), "gates": {}}, indent=2) + "\n"
     )
     BENCH8_JSON_PATH.write_text(
+        json.dumps({"cpu_count": os.cpu_count(), "gates": {}}, indent=2) + "\n"
+    )
+    BENCH10_JSON_PATH.write_text(
         json.dumps({"cpu_count": os.cpu_count(), "gates": {}}, indent=2) + "\n"
     )
 
@@ -116,6 +123,21 @@ def bench_json8():
             data = {"cpu_count": os.cpu_count(), "gates": {}}
         data.setdefault("gates", {}).setdefault(name, {}).update(fields)
         BENCH8_JSON_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+    return record
+
+
+@pytest.fixture(scope="session")
+def bench_json10():
+    """Like ``bench_json`` but for the chaos artifact ``BENCH_10.json``."""
+
+    def record(name: str, **fields) -> None:
+        try:
+            data = json.loads(BENCH10_JSON_PATH.read_text())
+        except (OSError, ValueError):
+            data = {"cpu_count": os.cpu_count(), "gates": {}}
+        data.setdefault("gates", {}).setdefault(name, {}).update(fields)
+        BENCH10_JSON_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
 
     return record
 

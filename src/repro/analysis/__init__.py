@@ -41,6 +41,7 @@ from . import wire_precision as _wire_precision  # noqa: F401
 from . import fork_safety as _fork_safety  # noqa: F401
 from . import lock_order as _lock_order  # noqa: F401
 from . import pool_payload as _pool_payload  # noqa: F401
+from . import error_taxonomy as _error_taxonomy  # noqa: F401
 
 from .runner import (
     LintConfigError,

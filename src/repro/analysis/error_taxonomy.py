@@ -1,0 +1,269 @@
+"""Error-taxonomy checker: every served error code must be classified.
+
+PR 10 made the protocol's error replies *actionable*: each ``code`` in
+:data:`repro.service.protocol.ERROR_TAXONOMY` carries an explicit
+``retryable`` bool, and clients (``RetryingPlanClient``) key their retry
+budget off it.  An error code constructed anywhere in the serving tier but
+missing from the taxonomy silently degrades to "not retryable" — requests
+that should fail over after a worker crash instead surface the error to the
+caller.  That is exactly the kind of drift a later PR introduces by adding
+an ``ErrorReply(code="new-thing", ...)`` without touching the table.
+
+This cross-file pass pins the contract:
+
+1. **Protocol tables** — in every source module named ``protocol.py`` that
+   defines ``ERROR_TAXONOMY``: collect the module's string constants, the
+   taxonomy's keys, and the ``ERROR_CODES`` tuple.
+
+   * every taxonomy *value* must be a literal ``True``/``False`` — the
+     classification is a wire contract, not a computation;
+   * every code in ``ERROR_CODES`` must appear in ``ERROR_TAXONOMY`` — a
+     code the protocol advertises but never classifies is unfinished.
+
+2. **Construction sites** — in every source module sharing the protocol's
+   directory (the serving tier): each ``ErrorReply`` / ``SchedulerError``
+   / ``PlanServerError`` / ``ProtocolError`` construction whose ``code``
+   argument statically resolves (a string literal, or a name bound to a
+   module-level string constant here or in the protocol module) must
+   resolve to a taxonomy key.
+
+Dynamic passthroughs — ``ErrorReply(code=exc.code, ...)`` and the like —
+resolve to *no finding*: the pass under-approximates, so every finding it
+emits is a genuinely unregistered code.
+"""
+
+from __future__ import annotations
+
+import ast
+import posixpath
+from dataclasses import dataclass, field
+
+from .core import Checker, Finding, Project, SourceFile, call_keywords, register
+
+__all__ = ["ErrorTaxonomyChecker"]
+
+#: Error-carrying constructors and where their ``code`` argument lives:
+#: keyword name plus its positional index in the signature.
+_CODE_ARGS: dict[str, int] = {
+    "ErrorReply": 0,  # ErrorReply(code, message, ...)
+    "SchedulerError": 0,  # SchedulerError(code, message)
+    "PlanServerError": 0,  # PlanServerError(code, message)
+    "ProtocolError": 1,  # ProtocolError(message, code=...)
+}
+
+_TAXONOMY_NAME = "ERROR_TAXONOMY"
+_CODES_NAME = "ERROR_CODES"
+
+
+def _module_string_constants(tree: ast.Module) -> dict[str, str]:
+    """Top-level ``NAME = "literal"`` bindings of a module."""
+    constants: dict[str, str] = {}
+    for node in tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        if not isinstance(value, ast.Constant) or not isinstance(value.value, str):
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                constants[target.id] = value.value
+    return constants
+
+
+def _resolve_code(node: ast.expr, constants: dict[str, str]) -> str | None:
+    """A code expression's static string value, or ``None`` if dynamic."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    if isinstance(node, ast.Name):
+        return constants.get(node.id)
+    return None
+
+
+def _find_assign(tree: ast.Module, name: str) -> tuple[ast.stmt, ast.expr] | None:
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == name:
+                    return node, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            if isinstance(node.target, ast.Name) and node.target.id == name:
+                return node, node.value
+    return None
+
+
+@dataclass
+class _ProtocolTable:
+    """The error tables of one ``protocol.py`` module."""
+
+    source: SourceFile
+    constants: dict[str, str]
+    #: Statically resolved taxonomy keys.
+    taxonomy: set[str] = field(default_factory=set)
+    #: ``True`` when any taxonomy key failed to resolve statically — then
+    #: membership checks are unreliable and construction sites are skipped.
+    opaque: bool = False
+
+
+class _CallScanner(ast.NodeVisitor):
+    """Collects error-constructor calls with their enclosing scope name."""
+
+    def __init__(self) -> None:
+        self.scope: list[str] = []
+        self.calls: list[tuple[ast.Call, str, int]] = []
+
+    def _visit_scoped(self, node: ast.AST, name: str) -> None:
+        self.scope.append(name)
+        self.generic_visit(node)
+        self.scope.pop()
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._visit_scoped(node, node.name)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_scoped(node, node.name)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_scoped(node, node.name)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        callee = node.func
+        name = callee.id if isinstance(callee, ast.Name) else (
+            callee.attr if isinstance(callee, ast.Attribute) else None
+        )
+        if name in _CODE_ARGS:
+            scope = ".".join(self.scope) or "<module>"
+            self.calls.append((node, scope, _CODE_ARGS[name]))
+        self.generic_visit(node)
+
+
+class ErrorTaxonomyChecker(Checker):
+    id = "error-taxonomy"
+    description = (
+        "every error code constructed in the serving tier must be "
+        "registered in the protocol's ERROR_TAXONOMY with an explicit "
+        "retryable classification"
+    )
+
+    def check_project(self, project: Project) -> list[Finding]:
+        findings: list[Finding] = []
+        tables: dict[str, _ProtocolTable] = {}
+        for source in project.src_files:
+            if posixpath.basename(source.rel) != "protocol.py":
+                continue
+            table = self._load_table(source, findings)
+            if table is not None:
+                tables[posixpath.dirname(source.rel)] = table
+        if not tables:
+            return findings
+        for source in project.src_files:
+            table = tables.get(posixpath.dirname(source.rel))
+            if table is None or table.opaque:
+                continue
+            findings.extend(self._check_constructions(source, table))
+        return findings
+
+    # -- protocol tables ---------------------------------------------------
+    def _load_table(
+        self, source: SourceFile, findings: list[Finding]
+    ) -> _ProtocolTable | None:
+        tree = source.tree
+        taxonomy = _find_assign(tree, _TAXONOMY_NAME)
+        if taxonomy is None:
+            return None
+        table = _ProtocolTable(source, _module_string_constants(tree))
+        node, value = taxonomy
+        if not isinstance(value, ast.Dict):
+            table.opaque = True
+            findings.append(
+                self.finding(
+                    source,
+                    node,
+                    f"{_TAXONOMY_NAME} must be a literal dict mapping error "
+                    "codes to retryable bools",
+                    _TAXONOMY_NAME,
+                )
+            )
+            return table
+        for key, val in zip(value.keys, value.values):
+            code = _resolve_code(key, table.constants) if key is not None else None
+            if code is None:
+                table.opaque = True
+                findings.append(
+                    self.finding(
+                        source,
+                        key or node,
+                        f"{_TAXONOMY_NAME} key does not resolve to a string "
+                        "constant — codes must be statically known",
+                        f"{_TAXONOMY_NAME}.<dynamic>",
+                    )
+                )
+                continue
+            table.taxonomy.add(code)
+            if not (isinstance(val, ast.Constant) and isinstance(val.value, bool)):
+                findings.append(
+                    self.finding(
+                        source,
+                        val,
+                        f"{_TAXONOMY_NAME}[{code!r}] must be a literal "
+                        "True/False — the retryable classification is a "
+                        "wire contract, not a computation",
+                        f"{_TAXONOMY_NAME}.{code}",
+                    )
+                )
+        codes = _find_assign(tree, _CODES_NAME)
+        if codes is not None:
+            _, value = codes
+            elements = value.elts if isinstance(value, (ast.Tuple, ast.List)) else []
+            for element in elements:
+                code = _resolve_code(element, table.constants)
+                if code is not None and code not in table.taxonomy:
+                    findings.append(
+                        self.finding(
+                            source,
+                            element,
+                            f"error code {code!r} is advertised in "
+                            f"{_CODES_NAME} but has no retryable "
+                            f"classification in {_TAXONOMY_NAME}",
+                            f"{_CODES_NAME}.{code}",
+                        )
+                    )
+        return table
+
+    # -- construction sites ------------------------------------------------
+    def _check_constructions(
+        self, source: SourceFile, table: _ProtocolTable
+    ) -> list[Finding]:
+        tree = source.tree
+        constants = dict(table.constants)
+        constants.update(_module_string_constants(tree))
+        scanner = _CallScanner()
+        scanner.visit(tree)
+        findings: list[Finding] = []
+        for call, scope, position in scanner.calls:
+            keywords = call_keywords(call)
+            code_expr: ast.expr | None = keywords.get("code")
+            if code_expr is None and len(call.args) > position:
+                code_expr = call.args[position]
+            if code_expr is None:
+                continue
+            code = _resolve_code(code_expr, constants)
+            if code is None or code in table.taxonomy:
+                continue
+            findings.append(
+                self.finding(
+                    source,
+                    call,
+                    f"error code {code!r} is constructed here but not "
+                    f"registered in {_TAXONOMY_NAME} "
+                    f"({table.source.rel}) — add it with an explicit "
+                    "retryable classification",
+                    f"{scope}.{code}",
+                )
+            )
+        return findings
+
+
+register(ErrorTaxonomyChecker)

@@ -303,6 +303,25 @@ def cmd_serve(args: argparse.Namespace) -> int:
               "(the store already shares the cache across workers and "
               "restarts)", file=sys.stderr)
         return 2
+    if args.fault_plan:
+        from . import faults
+
+        # Installed (and exported) *before* any worker forks so every
+        # process of the pool sees the same plan; the export also covers a
+        # router that re-execs or respawns workers later.
+        try:
+            if args.fault_plan.lstrip().startswith("{"):
+                plan = faults.FaultPlan.from_json(args.fault_plan)
+            else:
+                plan = faults.FaultPlan.from_file(args.fault_plan)
+        except (OSError, ValueError) as exc:
+            print(f"invalid --fault-plan: {exc}", file=sys.stderr)
+            return 2
+        faults.install_plan(plan)
+        os.environ[faults.FAULT_PLAN_ENV] = plan.to_json()
+        print(f"fault injection armed: {len(plan.faults)} fault(s)"
+              + (f", seed {plan.seed}" if plan.seed is not None else ""),
+              file=sys.stderr)
 
     cache_store = args.cache_store
     if args.workers > 1 and args.rate is not None and cache_store is None:
@@ -529,6 +548,12 @@ def build_parser() -> argparse.ArgumentParser:
     sub_serve.add_argument("--shared-cache", action="store_true",
                            help="use the process-wide estimate cache instead "
                                 "of a fresh one")
+    sub_serve.add_argument("--fault-plan", default=None, metavar="PLAN",
+                           help="staging drills: install a deterministic "
+                                "fault-injection plan (a JSON file path, or "
+                                "inline JSON starting with '{'); forked "
+                                "workers inherit it — see "
+                                "docs/fault-injection.md")
     sub_serve.set_defaults(func=cmd_serve)
     return parser
 

@@ -47,6 +47,7 @@ from typing import Any, Callable, Iterable, Sequence
 
 import numpy as np
 
+from .. import faults
 from .abstract import SeriesEstimate
 from .batch import (
     SHARED_CACHE_MAX_ENTRIES,
@@ -215,11 +216,18 @@ class EstimateCacheStore:
         flush_batch: int = 512,
         synchronous: str = "NORMAL",
         timeout_s: float = 30.0,
+        write_retry_attempts: int = 3,
+        write_retry_backoff_s: float = 0.01,
+        write_retry_backoff_cap_s: float = 0.1,
     ) -> None:
         if flush_interval_s <= 0.0:
             raise ValueError("flush_interval_s must be positive")
         if flush_batch < 1:
             raise ValueError("flush_batch must be at least 1")
+        if write_retry_attempts < 0:
+            raise ValueError("write_retry_attempts must be non-negative")
+        if write_retry_backoff_s < 0.0 or write_retry_backoff_cap_s < 0.0:
+            raise ValueError("write retry backoffs must be non-negative")
         synchronous = synchronous.upper()
         if synchronous not in _SYNCHRONOUS_MODES:
             raise ValueError(
@@ -230,6 +238,9 @@ class EstimateCacheStore:
         self.flush_batch = flush_batch
         self.synchronous = synchronous
         self.timeout_s = timeout_s
+        self.write_retry_attempts = write_retry_attempts
+        self.write_retry_backoff_s = write_retry_backoff_s
+        self.write_retry_backoff_cap_s = write_retry_backoff_cap_s
         self._queue_lock = make_lock("cachestore-queue")
         self._db_lock = make_lock("cachestore-db")
         self._pending_totals: list[tuple[bytes, bytes, bytes, float]] = []
@@ -241,6 +252,10 @@ class EstimateCacheStore:
         self.flushes = 0
         self.reads = 0
         self.read_rows = 0
+        #: Transient write failures that were retried (and may have healed).
+        self.retried_writes = 0
+        #: Commits abandoned after the retry budget — each one killed the store.
+        self.failed_writes = 0
         try:
             self._conn = self._open_connection()
             for statement in _SCHEMA:
@@ -401,7 +416,28 @@ class EstimateCacheStore:
         with self._db_lock:
             if self._dead or self._closed:
                 return 0
+            return self._commit_rows(totals, estimates)
+
+    def _commit_rows(
+        self,
+        totals: list[tuple[bytes, bytes, bytes, float]],
+        estimates: list[tuple[bytes, bytes, bytes, str]],
+    ) -> int:
+        """Commit queued rows in one transaction; returns rows written.
+
+        Runs under ``_db_lock``.  Transient write/flush I/O errors (a busy
+        database, a brief ``EIO``/``ENOSPC`` blip — or the fault injector
+        standing in for one) are retried with a capped doubling backoff
+        before the store is declared dead: verified rows queued behind a
+        hiccup must land, and only a *persistent* failure may disable
+        persistence.  Catches ``OSError`` alongside ``sqlite3.Error`` so an
+        injected or OS-level I/O error cannot escape and kill the
+        write-behind flusher thread.
+        """
+        attempts = 0
+        while True:
             try:
+                faults.check("cachestore.write")
                 self._conn.execute("BEGIN IMMEDIATE")
                 if totals:
                     self._conn.executemany(
@@ -413,13 +449,24 @@ class EstimateCacheStore:
                         estimates,
                     )
                 self._conn.execute("COMMIT")
-            except sqlite3.Error:
+            except (sqlite3.Error, OSError):
                 try:
                     self._conn.execute("ROLLBACK")
-                except sqlite3.Error:
+                except (sqlite3.Error, OSError):
                     pass
-                self._dead = True
-                return 0
+                attempts += 1
+                if attempts > self.write_retry_attempts:
+                    self._dead = True
+                    self.failed_writes += 1
+                    return 0
+                self.retried_writes += 1
+                time.sleep(
+                    min(
+                        self.write_retry_backoff_cap_s,
+                        self.write_retry_backoff_s * (2.0 ** (attempts - 1)),
+                    )
+                )
+                continue
             written = len(totals) + len(estimates)
             self.rows_flushed += written
             self.flushes += 1
@@ -528,6 +575,8 @@ class EstimateCacheStore:
                 "flushes": self.flushes,
                 "reads": self.reads,
                 "read_rows": self.read_rows,
+                "retried_writes": self.retried_writes,
+                "failed_writes": self.failed_writes,
             }
 
     def close(self) -> None:
@@ -543,26 +592,8 @@ class EstimateCacheStore:
             totals, self._pending_totals = self._pending_totals, []
             estimates, self._pending_estimates = self._pending_estimates, []
         with self._db_lock:
-            if not self._dead:
-                try:
-                    if totals or estimates:
-                        self._conn.execute("BEGIN IMMEDIATE")
-                        if totals:
-                            self._conn.executemany(
-                                "INSERT OR REPLACE INTO totals VALUES (?, ?, ?, ?)",
-                                totals,
-                            )
-                        if estimates:
-                            self._conn.executemany(
-                                "INSERT OR REPLACE INTO estimates "
-                                "VALUES (?, ?, ?, ?)",
-                                estimates,
-                            )
-                        self._conn.execute("COMMIT")
-                        self.rows_flushed += len(totals) + len(estimates)
-                        self.flushes += 1
-                except sqlite3.Error:
-                    self._dead = True
+            if not self._dead and (totals or estimates):
+                self._commit_rows(totals, estimates)
             try:
                 self._conn.close()
             except sqlite3.Error:

@@ -20,12 +20,14 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 import numpy as np
 
+from .. import faults
 from ..locking import make_lock
 from ..opencl.allocator import AllocatorStats, MemoryAllocator
 
@@ -93,6 +95,10 @@ class PairPool:
     def __init__(self, n_workers: int | None = None) -> None:
         self.n_workers = max(1, n_workers if n_workers is not None else default_worker_count())
         self._executor: ProcessPoolExecutor | None = None
+        #: Times a broken executor was detected and torn down for rebuild.
+        self.pool_breaks = 0
+        #: Chunks whose pool future was lost and that re-ran serially.
+        self.chunks_recovered = 0
 
     def _ensure_executor(self) -> ProcessPoolExecutor:
         if self._executor is None:
@@ -111,10 +117,59 @@ class PairPool:
         A single payload (or a single-worker pool) is run in-process — the
         worker functions are deterministic, so the outcome is identical and
         the fork/IPC cost is saved.
+
+        Survives a broken pool (a worker SIGKILLed or OOM-killed mid-chunk
+        marks the whole :class:`ProcessPoolExecutor` broken): every payload
+        whose future was lost re-runs serially in the driver — the worker
+        functions are pure, so the recovered results are bit-identical to
+        an unfaulted run — and the dead executor is torn down so the *next*
+        map builds a fresh one instead of failing forever.  Exceptions
+        raised by ``fn`` itself (in a healthy pool) still propagate.
         """
         if len(payloads) <= 1 or self.n_workers == 1:
             return [fn(payload) for payload in payloads]
-        return list(self._ensure_executor().map(fn, payloads))
+        executor = self._ensure_executor()
+        futures: list[Future[Any] | None] = []
+        for index, payload in enumerate(payloads):
+            for spec in faults.fire("parallel.chunk", chunk=index):
+                if spec.action == "kill":
+                    # Break the pool "during chunk index": a payload that
+                    # SIGKILLs whichever worker picks it up.
+                    try:
+                        executor.submit(faults.kill_self, None)
+                    except BrokenExecutor:
+                        pass
+            try:
+                futures.append(executor.submit(fn, payload))
+            except BrokenExecutor:
+                futures.append(None)  # pool already broken: recover below
+        results: list[Any] = []
+        recovered = 0
+        for payload, future in zip(payloads, futures):
+            if future is not None:
+                try:
+                    results.append(future.result())
+                    continue
+                except BrokenProcessPool:
+                    pass
+            results.append(fn(payload))
+            recovered += 1
+        if recovered:
+            self.chunks_recovered += recovered
+            self.pool_breaks += 1
+            self.invalidate()
+        return results
+
+    def invalidate(self) -> None:
+        """Drop the (broken) executor so the next use rebuilds a fresh one.
+
+        ``shutdown(wait=False)`` on a broken pool only reaps bookkeeping —
+        its workers are already gone; on a healthy pool it lets in-flight
+        work finish in the background while new maps get a new pool.
+        """
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)
 
     def close(self) -> None:
         if self._executor is not None:

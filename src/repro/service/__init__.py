@@ -39,7 +39,9 @@ from .protocol import (
     ERROR_INTERNAL,
     ERROR_INVALID,
     ERROR_SHUTDOWN,
+    ERROR_TAXONOMY,
     ERROR_UNSUPPORTED_VERSION,
+    ERROR_WORKER_LOST,
     PROTOCOL_VERSION,
     SUPPORTED_VERSIONS,
     Envelope,
@@ -47,6 +49,7 @@ from .protocol import (
     PlanResult,
     PlanSubmit,
     ProtocolError,
+    is_retryable,
 )
 from .pool import PoolConfig, WorkerPool, build_worker_server, run_worker
 from .scheduler import MicroBatchScheduler, SchedulerError, TokenBucket
@@ -54,8 +57,11 @@ from .server import (
     PlanClient,
     PlanServer,
     PlanServerError,
+    RetryingPlanClient,
+    RetryPolicy,
     clear_stale_unix_socket,
     connect_plan_client,
+    connect_retrying_client,
 )
 from .service import PlanService, dedup_tasks
 
@@ -67,7 +73,9 @@ __all__ = [
     "ERROR_INTERNAL",
     "ERROR_INVALID",
     "ERROR_SHUTDOWN",
+    "ERROR_TAXONOMY",
     "ERROR_UNSUPPORTED_VERSION",
+    "ERROR_WORKER_LOST",
     "Envelope",
     "ErrorReply",
     "EstimateCacheStore",
@@ -85,6 +93,8 @@ __all__ = [
     "PlanSubmit",
     "PoolConfig",
     "ProtocolError",
+    "RetryPolicy",
+    "RetryingPlanClient",
     "SUPPORTED_VERSIONS",
     "SchedulerError",
     "SharedEstimateCache",
@@ -95,7 +105,9 @@ __all__ = [
     "build_worker_server",
     "clear_stale_unix_socket",
     "connect_plan_client",
+    "connect_retrying_client",
     "dedup_tasks",
+    "is_retryable",
     "load_workload",
     "open_persistent_cache",
     "reset_shared_estimate_cache",

@@ -50,6 +50,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from .. import faults
 from ..costmodel.batch import EstimateCache, SharedEstimateCache
 from ..costmodel.cachestore import PersistentEstimateCache, open_persistent_cache
 from .scheduler import MicroBatchScheduler
@@ -93,6 +94,15 @@ class PoolConfig:
     admission_burst: float | None = None
     default_timeout_s: float | None = None
     listen_backlog: int = 128
+    #: Crash-loop breaker: the first crash of a (recently healthy) worker
+    #: respawns immediately; each *consecutive* crash after that doubles the
+    #: respawn delay from ``respawn_backoff_s`` up to
+    #: ``respawn_backoff_cap_s``, so a worker that dies at startup degrades
+    #: the pool to fewer live workers instead of fork-spinning.  A worker
+    #: that stays up ``respawn_reset_s`` clears its slot's crash history.
+    respawn_backoff_s: float = 0.05
+    respawn_backoff_cap_s: float = 2.0
+    respawn_reset_s: float = 5.0
 
 
 def build_worker_server(config: PoolConfig) -> tuple[PlanServer, PlanService]:
@@ -155,6 +165,7 @@ async def run_worker(
     errors) and the cache flushes to its backing store.  Returns the final
     server stats.
     """
+    faults.check("worker.start", worker=index)
     server, service = build_worker_server(config)
     await server.scheduler.start()
     loop = asyncio.get_running_loop()
@@ -241,12 +252,21 @@ def worker_main(
 
 @dataclass
 class _Worker:
-    """The router's handle on one worker: its channel and pid or thread."""
+    """The router's handle on one worker: its channel and pid or thread.
 
-    channel: socket.socket
+    A slot whose worker crashed repeatedly and is waiting out its respawn
+    backoff is represented by ``channel=None`` — the crash-loop breaker's
+    "degraded" state: routing skips it until the backoff expires.
+    """
+
+    channel: socket.socket | None
     index: int
     pid: int | None = None
     thread: threading.Thread | None = None
+    #: ``time.monotonic()`` at spawn; a worker alive longer than
+    #: ``respawn_reset_s`` when it dies counts as a *fresh* crash, not a
+    #: consecutive one.
+    spawned_at: float = 0.0
 
 
 class WorkerPool:
@@ -275,6 +295,14 @@ class WorkerPool:
         self.connections_routed = 0
         self.connections_dropped = 0
         self.workers_respawned = 0
+        #: Routing attempts that skipped a slot still in respawn backoff.
+        self.respawns_suppressed = 0
+        #: High-water mark of any slot's consecutive-crash count.
+        self.max_consecutive_crashes = 0
+        #: Per-slot consecutive crash counts (crash-loop breaker state).
+        self._crashes: dict[int, int] = {}
+        #: Per-slot earliest monotonic time the next respawn may happen.
+        self._not_before: dict[int, float] = {}
         #: Resolved (host, port) once the TCP listener is bound.
         self.tcp_address: tuple[str, int] | None = None
         #: Bound unix socket path, until shutdown unlinks it.
@@ -378,6 +406,8 @@ class WorkerPool:
                 for listener in self._listeners:
                     listener.close()
                 for other in self._workers:
+                    if other.channel is None:  # slot degraded, nothing to close
+                        continue
                     try:
                         other.channel.close()
                     except OSError:
@@ -385,7 +415,12 @@ class WorkerPool:
                 worker_main(child_end, self.config, index)
                 raise AssertionError("worker_main returned")
             child_end.close()
-            return _Worker(channel=parent_end, index=index, pid=pid)
+            return _Worker(
+                channel=parent_end,
+                index=index,
+                pid=pid,
+                spawned_at=time.monotonic(),
+            )
         thread = threading.Thread(
             target=self._thread_worker_main,
             args=(child_end, index),
@@ -393,7 +428,12 @@ class WorkerPool:
             daemon=True,
         )
         thread.start()
-        return _Worker(channel=parent_end, index=index, thread=thread)
+        return _Worker(
+            channel=parent_end,
+            index=index,
+            thread=thread,
+            spawned_at=time.monotonic(),
+        )
 
     def _thread_worker_main(self, channel: socket.socket, index: int) -> None:
         try:
@@ -421,36 +461,115 @@ class WorkerPool:
 
         ``send_fds`` duplicates the descriptor into the worker at sendmsg
         time, so the router's copy is closed immediately either way.  A
-        broken channel means a dead worker: it is respawned (restart-warm
-        when a cache store is configured) and the connection tries the next
-        slot; only a pool with every worker unreachable drops it.
+        broken channel means a dead worker: the crash-loop breaker decides
+        whether it respawns now (first crash: restart-warm when a cache
+        store is configured) or sits out a doubling backoff (consecutive
+        crashes: the pool degrades to fewer live workers instead of
+        fork-spinning), and the connection tries the next slot; only a pool
+        with every worker unreachable drops it.
         """
         with conn:
             for _ in range(len(self._workers)):
                 worker = self._workers[self._rr % len(self._workers)]
                 self._rr += 1
+                if worker.channel is None:
+                    revived = self._try_revive(worker)
+                    if revived is None:
+                        continue
+                    worker = revived
+                assert worker.channel is not None
                 try:
                     socket.send_fds(worker.channel, [b"c"], [conn.fileno()])
                 except OSError:
-                    self._respawn(worker)
+                    self._mark_crashed(worker)
                     continue
                 self.connections_routed += 1
+                # Fault-injection site: "kill worker k after N connections
+                # routed to it" — fired after the send so the Nth request is
+                # genuinely in flight when its worker dies.  The kill target
+                # is the spec's selector (the worker just routed to, when
+                # one is named).
+                for spec in faults.fire("pool.route", worker=worker.index):
+                    if spec.action == "kill":
+                        self._kill_worker(
+                            spec.worker if spec.worker is not None else worker.index
+                        )
                 return
             self.connections_dropped += 1
 
-    def _respawn(self, worker: _Worker) -> None:
-        try:
-            worker.channel.close()
-        except OSError:
-            pass
+    def _try_revive(self, worker: _Worker) -> _Worker | None:
+        """Respawn a degraded slot once its crash-loop backoff has expired."""
+        if time.monotonic() < self._not_before.get(worker.index, 0.0):
+            self.respawns_suppressed += 1
+            return None
+        replacement = self._spawn_worker(worker.index)
+        self._workers[self._workers.index(worker)] = replacement
+        self.workers_respawned += 1
+        return replacement
+
+    def _mark_crashed(self, worker: _Worker) -> None:
+        """Reap a dead worker; respawn now or degrade the slot with backoff.
+
+        The breaker: a worker that had been up at least ``respawn_reset_s``
+        gets the benign interpretation (transient kill — respawn
+        immediately, the pre-breaker behaviour).  Consecutive crashes mean
+        the worker cannot hold (unwritable cache store, bad config): each
+        one doubles the slot's backoff from ``respawn_backoff_s`` up to
+        ``respawn_backoff_cap_s``, and until it expires the slot routes
+        nothing — bounded respawn work no matter how fast crashes arrive.
+        """
+        if worker.channel is not None:
+            try:
+                worker.channel.close()
+            except OSError:
+                pass
         if worker.pid is not None:
             try:
                 os.waitpid(worker.pid, os.WNOHANG)
             except ChildProcessError:
                 pass
-        replacement = self._spawn_worker(worker.index)
-        self._workers[self._workers.index(worker)] = replacement
-        self.workers_respawned += 1
+        now = time.monotonic()
+        previous = self._crashes.get(worker.index, 0)
+        healthy_run = now - worker.spawned_at >= self.config.respawn_reset_s
+        crashes = 1 if previous == 0 or healthy_run else previous + 1
+        self._crashes[worker.index] = crashes
+        self.max_consecutive_crashes = max(self.max_consecutive_crashes, crashes)
+        slot = self._workers.index(worker)
+        if crashes == 1:
+            self._workers[slot] = self._spawn_worker(worker.index)
+            self.workers_respawned += 1
+            return
+        delay = min(
+            self.config.respawn_backoff_cap_s,
+            self.config.respawn_backoff_s * (2.0 ** (crashes - 2)),
+        )
+        self._not_before[worker.index] = now + delay
+        self._workers[slot] = _Worker(
+            channel=None, index=worker.index, spawned_at=now
+        )
+
+    def _kill_worker(self, index: int | None) -> None:
+        """Fault-injection backend for ``pool.route`` kill specs.
+
+        A forked worker dies for real (SIGKILL — no drain, in-flight
+        requests lost); a thread worker cannot be killed, so its channel is
+        torn down instead, which is detected identically by the router on
+        the next route.  ``index=None`` kills the first live worker.
+        """
+        for worker in self._workers:
+            if index is not None and worker.index != index:
+                continue
+            if worker.pid is not None:
+                try:
+                    os.kill(worker.pid, signal.SIGKILL)
+                except ProcessLookupError:
+                    pass
+            elif worker.channel is not None:
+                try:
+                    worker.channel.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+            return
 
     # ------------------------------------------------------------------
     # Shutdown (synchronous helpers driven from _serve's finally).
@@ -478,6 +597,8 @@ class WorkerPool:
         must terminate even if a worker wedged.
         """
         for worker in self._workers:
+            if worker.channel is None:
+                continue
             try:
                 worker.channel.shutdown(socket.SHUT_WR)
             except OSError:
@@ -488,6 +609,8 @@ class WorkerPool:
                 self._reap(worker.pid, deadline)
             elif worker.thread is not None:
                 worker.thread.join(timeout=max(0.1, deadline - time.monotonic()))
+            if worker.channel is None:
+                continue
             try:
                 worker.channel.close()
             except OSError:
@@ -521,5 +644,10 @@ class WorkerPool:
             "connections_routed": self.connections_routed,
             "connections_dropped": self.connections_dropped,
             "workers_respawned": self.workers_respawned,
+            "respawns_suppressed": self.respawns_suppressed,
+            "max_consecutive_crashes": self.max_consecutive_crashes,
+            "live_workers": sum(
+                1 for worker in self._workers if worker.channel is not None
+            ),
         }
 

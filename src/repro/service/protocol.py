@@ -51,7 +51,9 @@ __all__ = [
     "ERROR_INTERNAL",
     "ERROR_INVALID",
     "ERROR_SHUTDOWN",
+    "ERROR_TAXONOMY",
     "ERROR_UNSUPPORTED_VERSION",
+    "ERROR_WORKER_LOST",
     "Envelope",
     "ErrorReply",
     "KIND_ERROR",
@@ -66,6 +68,7 @@ __all__ = [
     "PlanSubmit",
     "ProtocolError",
     "SUPPORTED_VERSIONS",
+    "is_retryable",
     "negotiate_version",
     "response_from_wire",
     "response_to_wire",
@@ -97,6 +100,7 @@ ERROR_DEADLINE = "deadline-exceeded"  #: the request's deadline expired queued
 ERROR_ADMISSION = "admission-rejected"  #: the client's token bucket ran dry
 ERROR_SHUTDOWN = "server-shutdown"  #: the server closed with work pending
 ERROR_INTERNAL = "internal-error"  #: the evaluation itself raised
+ERROR_WORKER_LOST = "worker-lost"  #: the worker serving the connection died mid-request
 
 ERROR_CODES = (
     ERROR_INVALID,
@@ -105,7 +109,36 @@ ERROR_CODES = (
     ERROR_ADMISSION,
     ERROR_SHUTDOWN,
     ERROR_INTERNAL,
+    ERROR_WORKER_LOST,
 )
+
+#: The error-code table: every code this build can emit, classified by
+#: whether a client may safely retry the request.  Plan requests are pure
+#: computation (idempotent by construction — same request, same plan,
+#: bit-identically), so retryability is purely about whether the *condition*
+#: is transient: a dead worker, a drained token bucket or a shutting-down
+#: server will heal; a malformed request or an evaluation bug will not.
+#: The ``error-taxonomy`` lint checker enforces that every code constructed
+#: in ``service/`` is registered here with an explicit classification.
+ERROR_TAXONOMY: dict[str, bool] = {
+    ERROR_INVALID: False,
+    ERROR_UNSUPPORTED_VERSION: False,
+    ERROR_DEADLINE: True,
+    ERROR_ADMISSION: True,
+    ERROR_SHUTDOWN: True,
+    ERROR_INTERNAL: False,
+    ERROR_WORKER_LOST: True,
+}
+
+
+def is_retryable(code: str) -> bool:
+    """Whether a client may safely retry a request that failed with ``code``.
+
+    Unknown codes are *not* retryable: a client that does not understand a
+    failure must not blind-retry it (the server may grow new permanent
+    failure codes faster than clients upgrade).
+    """
+    return ERROR_TAXONOMY.get(code, False)
 
 
 class ProtocolError(ValueError):
@@ -350,8 +383,19 @@ class ErrorReply:
     request_id: str = ""
     detail: Mapping[str, Any] = field(default_factory=dict)
 
+    @property
+    def retryable(self) -> bool:
+        """This code's classification in :data:`ERROR_TAXONOMY` (the wire
+        copy of the flag is advisory; both ends of this build share the
+        table, so the property is the source of truth)."""
+        return is_retryable(self.code)
+
     def envelope(self, seq: int | None = None, version: int = PROTOCOL_VERSION) -> Envelope:
-        payload: dict[str, Any] = {"code": self.code, "message": self.message}
+        payload: dict[str, Any] = {
+            "code": self.code,
+            "message": self.message,
+            "retryable": self.retryable,
+        }
         if self.request_id:
             payload["id"] = self.request_id
         if self.detail:
@@ -366,6 +410,9 @@ class ErrorReply:
         detail = envelope.payload.get("detail", {})
         if not isinstance(detail, Mapping):
             raise ProtocolError("error 'detail' must be an object")
+        retryable = envelope.payload.get("retryable")
+        if retryable is not None and not isinstance(retryable, bool):
+            raise ProtocolError("error 'retryable' must be a boolean")
         return cls(
             code=code,
             message=str(envelope.payload.get("message", "")),

@@ -40,6 +40,7 @@ from collections import Counter, deque
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from .. import faults
 from .api import PlanRequest
 from .protocol import (
     ERROR_ADMISSION,
@@ -454,6 +455,13 @@ class MicroBatchScheduler:
 
     async def _dispatch(self, batch: list[_Pending]) -> None:
         requests = [pending.request for pending in batch]
+        # Fault-injection site: slow batches (a GC pause, a cold cache, a
+        # noisy neighbour) are *stretched time*, not failures — an async
+        # sleep so the event loop keeps serving other connections, exactly
+        # like a genuinely slow evaluation under use_executor.
+        delay_s = faults.latency("scheduler.dispatch")
+        if delay_s > 0.0:
+            await asyncio.sleep(delay_s)
         try:
             if self.use_executor:
                 responses = await asyncio.get_running_loop().run_in_executor(

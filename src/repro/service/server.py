@@ -28,14 +28,18 @@ import asyncio
 import errno
 import itertools
 import os
+import random
 import socket
 import stat
-from typing import Any, Sequence
+from dataclasses import dataclass
+from typing import Any, Awaitable, Callable, Sequence
 
+from .. import faults
 from .api import PlanRequest
 from .protocol import (
     ERROR_INTERNAL,
     ERROR_INVALID,
+    ERROR_WORKER_LOST,
     KIND_ERROR,
     KIND_HELLO,
     KIND_HELLO_OK,
@@ -50,6 +54,7 @@ from .protocol import (
     PlanResult,
     PlanSubmit,
     ProtocolError,
+    is_retryable,
     negotiate_version,
 )
 from .scheduler import MicroBatchScheduler, SchedulerError
@@ -59,8 +64,11 @@ __all__ = [
     "PlanClient",
     "PlanServer",
     "PlanServerError",
+    "RetryPolicy",
+    "RetryingPlanClient",
     "clear_stale_unix_socket",
     "connect_plan_client",
+    "connect_retrying_client",
 ]
 
 #: Hard per-line bound; a line longer than this is a protocol violation, not
@@ -140,12 +148,18 @@ def _unlink_unix_socket(path: str) -> None:
 
 
 class PlanServerError(Exception):
-    """Client-side mirror of a structured ``error`` reply."""
+    """Client-side mirror of a structured ``error`` reply.
+
+    ``retryable`` is the code's classification in the protocol's error
+    taxonomy — :class:`RetryingPlanClient` keys its bounded-retry decision
+    off this flag and nothing else.
+    """
 
     def __init__(self, code: str, message: str, request_id: str = "") -> None:
         super().__init__(message)
         self.code = code
         self.request_id = request_id
+        self.retryable = is_retryable(code)
 
 
 class PlanServer:
@@ -284,6 +298,13 @@ class PlanServer:
         submits: set[asyncio.Task] = set()
 
         async def reply(envelope: Envelope) -> None:
+            for spec in faults.fire("server.reply"):
+                if spec.action == "reset":
+                    # A mid-reply RST: the peer sees the connection torn down
+                    # with the answer undelivered — the worker-lost failover
+                    # path from the client's point of view.
+                    writer.transport.abort()
+                    raise ConnectionResetError("injected socket reset before reply")
             async with write_lock:
                 writer.write(envelope.to_bytes())
                 await writer.drain()
@@ -302,6 +323,8 @@ class PlanServer:
                 client_id = await self._handle_line(line, client_id, reply, submits)
         except asyncio.CancelledError:
             raise
+        except (ConnectionError, OSError):
+            pass  # the transport died under a reply; nothing left to serve
         finally:
             for task in submits:
                 task.cancel()
@@ -478,10 +501,18 @@ class PlanClient:
         except (ConnectionError, OSError):
             pass
         finally:
+            # A connection that dies with requests in flight is the client's
+            # view of a killed worker: fail the futures with the structured,
+            # *retryable* worker-lost error so retry layers can resubmit
+            # (plan requests are pure computation — idempotent by
+            # construction) instead of surfacing a bare transport error.
             for future in self._pending.values():
                 if not future.done():
                     future.set_exception(
-                        ConnectionError("plan server connection closed")
+                        PlanServerError(
+                            ERROR_WORKER_LOST,
+                            "connection closed with the request in flight",
+                        )
                     )
             self._pending.clear()
 
@@ -492,13 +523,25 @@ class PlanClient:
             # freshly registered future could never be resolved — fail fast
             # instead of letting the caller await forever on a half-open
             # connection whose write side still accepts bytes.
-            raise ConnectionError("plan server connection closed")
+            raise PlanServerError(
+                ERROR_WORKER_LOST, "plan server connection closed"
+            )
         future: asyncio.Future[Envelope] = asyncio.get_running_loop().create_future()
         self._pending[envelope.seq] = future
-        async with self._write_lock:
-            self._writer.write(envelope.to_bytes())
-            await self._writer.drain()
-        return await future
+        try:
+            async with self._write_lock:
+                self._writer.write(envelope.to_bytes())
+                await self._writer.drain()
+            return await future
+        except BaseException:
+            # The caller is taking an exception instead of the reply (write
+            # failure, timeout cancellation): deregister the future so the
+            # read loop's worker-lost fan-out never sets an exception nobody
+            # retrieves.
+            orphan = self._pending.pop(envelope.seq, None)
+            if orphan is not None and not orphan.done():
+                orphan.cancel()
+            raise
 
     @staticmethod
     def _raise_on_error(envelope: Envelope) -> None:
@@ -604,3 +647,157 @@ async def connect_plan_client(
             await client.close()
             raise
     return client
+
+
+# ---------------------------------------------------------------------------
+# Bounded retry with exponential backoff + full jitter.
+# ---------------------------------------------------------------------------
+@dataclass
+class RetryPolicy:
+    """Bounded retry: exponential backoff with *full jitter*.
+
+    The delay before retry ``n`` (counting from 0) is drawn uniformly from
+    ``[0, min(cap_s, base_s * 2**n)]`` — the full-jitter variant, which
+    decorrelates the retry storms of many clients failing over from the
+    same killed worker at once.  ``seed`` pins the jitter stream for the
+    deterministic chaos suite; leave it ``None`` in production.
+    """
+
+    max_attempts: int = 5
+    base_s: float = 0.02
+    cap_s: float = 1.0
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_s < 0.0 or self.cap_s < 0.0:
+            raise ValueError("backoff delays must be non-negative")
+
+    def make_rng(self) -> random.Random:
+        return random.Random(self.seed)
+
+    def backoff_s(self, retry: int, rng: random.Random) -> float:
+        return rng.uniform(0.0, min(self.cap_s, self.base_s * (2.0 ** retry)))
+
+
+class RetryingPlanClient:
+    """A :class:`PlanClient` wrapper that survives worker loss.
+
+    Failure handling is keyed *only* off the protocol's error taxonomy: a
+    :class:`PlanServerError` whose ``retryable`` flag is False propagates
+    immediately; retryable errors and bare transport errors are retried up
+    to ``policy.max_attempts`` times with full-jitter backoff.  On
+    ``worker-lost`` (or any transport-level failure) the underlying
+    connection is dropped and the next attempt reconnects — the router then
+    routes the new connection to a live worker.  Safe because plan requests
+    are pure computation: a retried request returns the bit-identical plan.
+    """
+
+    def __init__(
+        self,
+        connect: Callable[[], Awaitable[PlanClient]],
+        policy: RetryPolicy | None = None,
+    ) -> None:
+        self._connect = connect
+        self.policy = policy if policy is not None else RetryPolicy()
+        self._rng = self.policy.make_rng()
+        self._client: PlanClient | None = None
+        self._client_lock = asyncio.Lock()
+        #: Submissions retried after a retryable failure.
+        self.retries = 0
+        #: Connections (re-)established, including the first.
+        self.connects = 0
+
+    async def _ensure_client(self) -> PlanClient:
+        # The counters are advisory, event-loop-confined stats: bump them
+        # outside the lock (which only serialises connection setup).
+        created = False
+        async with self._client_lock:
+            if self._client is None:
+                self._client = await self._connect()
+                created = True
+            client = self._client
+        if created:
+            self.connects += 1
+        return client
+
+    async def _drop_client(self, client: PlanClient) -> None:
+        async with self._client_lock:
+            if self._client is client:
+                self._client = None
+        try:
+            await client.close()
+        except (ConnectionError, OSError):
+            pass
+
+    async def submit(
+        self, request: PlanRequest, timeout_s: float | None = None
+    ) -> PlanResult:
+        last_error: BaseException | None = None
+        for attempt in range(self.policy.max_attempts):
+            if attempt:
+                self.retries += 1
+                await asyncio.sleep(self.policy.backoff_s(attempt - 1, self._rng))
+            client: PlanClient | None = None
+            try:
+                client = await self._ensure_client()
+                return await client.submit(request, timeout_s=timeout_s)
+            except PlanServerError as exc:
+                if not exc.retryable:
+                    raise
+                last_error = exc
+                if exc.code == ERROR_WORKER_LOST and client is not None:
+                    await self._drop_client(client)
+            except (ConnectionError, OSError) as exc:
+                last_error = exc
+                if client is not None:
+                    await self._drop_client(client)
+        assert last_error is not None
+        raise last_error
+
+    async def plan_many(
+        self, requests: Sequence[PlanRequest], timeout_s: float | None = None
+    ) -> list[PlanResult]:
+        """Concurrent retried submissions; results in request order."""
+        return list(
+            await asyncio.gather(
+                *(self.submit(request, timeout_s=timeout_s) for request in requests)
+            )
+        )
+
+    async def close(self) -> None:
+        async with self._client_lock:
+            client, self._client = self._client, None
+        if client is not None:
+            try:
+                await client.close()
+            except (ConnectionError, OSError):
+                pass
+
+    def stats(self) -> dict[str, int]:
+        return {"retries": self.retries, "connects": self.connects}
+
+
+def connect_retrying_client(
+    path: str | None = None,
+    *,
+    host: str | None = None,
+    port: int | None = None,
+    client_id: str = "",
+    version: int = PROTOCOL_VERSION,
+    policy: RetryPolicy | None = None,
+) -> RetryingPlanClient:
+    """A :class:`RetryingPlanClient` for a unix-socket or TCP plan server.
+
+    Connects lazily (and re-connects after worker loss) via
+    :func:`connect_plan_client`; note this is a plain function — the first
+    connection is made by the first ``submit``.
+    """
+
+    async def factory() -> PlanClient:
+        return await connect_plan_client(
+            path, host=host, port=port, client_id=client_id, version=version
+        )
+
+    return RetryingPlanClient(factory, policy=policy)

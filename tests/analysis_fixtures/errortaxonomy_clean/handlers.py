@@ -1,0 +1,25 @@
+"""Clean twin: every statically resolvable code is registered."""
+
+from .protocol import ERROR_BAD, ERROR_LOST, ErrorReply
+
+
+class SchedulerError(Exception):
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+def reject(request_id: int) -> ErrorReply:
+    return ErrorReply(code=ERROR_BAD, message=f"no {request_id}")
+
+
+def lost(request_id: int) -> ErrorReply:
+    return ErrorReply(ERROR_LOST, f"gone {request_id}")
+
+
+def schedule() -> None:
+    raise SchedulerError(ERROR_LOST, "queue gone")
+
+
+def passthrough(exc: SchedulerError) -> ErrorReply:
+    return ErrorReply(code=exc.code, message=str(exc))

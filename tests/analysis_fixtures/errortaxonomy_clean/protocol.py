@@ -1,0 +1,20 @@
+"""Clean twin: every advertised code is classified with a literal bool."""
+
+ERROR_BAD = "bad-request"
+ERROR_LOST = "peer-lost"
+
+ERROR_CODES = (
+    ERROR_BAD,
+    ERROR_LOST,
+)
+
+ERROR_TAXONOMY: dict[str, bool] = {
+    ERROR_BAD: False,
+    ERROR_LOST: True,
+}
+
+
+class ErrorReply:
+    def __init__(self, code: str, message: str) -> None:
+        self.code = code
+        self.message = message

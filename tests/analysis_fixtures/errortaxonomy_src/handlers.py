@@ -1,0 +1,35 @@
+"""Seeded violations: handlers constructing unregistered error codes."""
+
+from .protocol import ERROR_BAD, ErrorReply
+
+LOCAL_CODE = "handler-overloaded"
+
+
+class SchedulerError(Exception):
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+def reject(request_id: int) -> ErrorReply:
+    # Literal code never added to ERROR_TAXONOMY.
+    return ErrorReply(code="not-registered", message=f"no {request_id}")
+
+
+def overloaded(request_id: int) -> ErrorReply:
+    # Module-level constant resolving to an unregistered code.
+    return ErrorReply(LOCAL_CODE, f"busy {request_id}")
+
+
+def schedule() -> None:
+    raise SchedulerError("also-missing", "queue gone")
+
+
+def clean(request_id: int) -> ErrorReply:
+    # Registered constant imported from the protocol module: no finding.
+    return ErrorReply(code=ERROR_BAD, message=f"bad {request_id}")
+
+
+def passthrough(exc: SchedulerError) -> ErrorReply:
+    # Dynamic passthrough: statically unresolvable, so no finding.
+    return ErrorReply(code=exc.code, message=str(exc))

@@ -1,0 +1,20 @@
+"""Seeded violations: a protocol whose error tables drifted apart."""
+
+ERROR_BAD = "bad-request"
+ERROR_LOST = "peer-lost"  # advertised below but never classified
+
+ERROR_CODES = (
+    ERROR_BAD,
+    ERROR_LOST,
+)
+
+#: ``peer-lost`` is missing, and ``bad-request``'s value is computed.
+ERROR_TAXONOMY: dict[str, bool] = {
+    ERROR_BAD: bool(0),
+}
+
+
+class ErrorReply:
+    def __init__(self, code: str, message: str) -> None:
+        self.code = code
+        self.message = message

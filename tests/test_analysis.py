@@ -52,6 +52,7 @@ class TestFramework:
             "fork-safety",
             "lock-order",
             "pool-payload",
+            "error-taxonomy",
         } <= ids
 
     def test_finding_keys_are_symbol_based_not_line_based(self):
@@ -367,6 +368,56 @@ class TestPoolPayload:
 
 
 # ---------------------------------------------------------------------------
+# Checker: error-taxonomy (cross-file)
+# ---------------------------------------------------------------------------
+class TestErrorTaxonomy:
+    @staticmethod
+    def project(kind: str) -> Project:
+        return Project(
+            src_files=[
+                fixture_source(f"errortaxonomy_{kind}/protocol.py"),
+                fixture_source(f"errortaxonomy_{kind}/handlers.py"),
+            ]
+        )
+
+    def test_catches_seeded_violations(self):
+        findings = get_checker("error-taxonomy").check_project(
+            self.project("src")
+        )
+        contexts = sorted(f.key.split(":", 2)[-1] for f in findings)
+        assert contexts == [
+            # protocol.py: computed taxonomy value + advertised-but-missing.
+            "ERROR_CODES.peer-lost",
+            "ERROR_TAXONOMY.bad-request",
+            # handlers.py: literal, constant-resolved, and positional codes.
+            "overloaded.handler-overloaded",
+            "reject.not-registered",
+            "schedule.also-missing",
+        ]
+
+    def test_registered_and_dynamic_codes_are_not_flagged(self):
+        findings = get_checker("error-taxonomy").check_project(
+            self.project("src")
+        )
+        assert not any("clean" in f.key for f in findings)
+        assert not any("passthrough" in f.key for f in findings)
+
+    def test_clean_twin_is_quiet(self):
+        findings = get_checker("error-taxonomy").check_project(
+            self.project("clean")
+        )
+        assert findings == []
+
+    def test_no_protocol_table_means_no_findings(self):
+        # A project without an ERROR_TAXONOMY-bearing protocol.py has no
+        # contract to enforce — constructions are silent.
+        project = Project(
+            src_files=[fixture_source("errortaxonomy_src/handlers.py")]
+        )
+        assert get_checker("error-taxonomy").check_project(project) == []
+
+
+# ---------------------------------------------------------------------------
 # The repo itself must lint clean (the CI gate's contract)
 # ---------------------------------------------------------------------------
 class TestRepoIsClean:
@@ -375,7 +426,7 @@ class TestRepoIsClean:
         assert result.findings == [], "\n".join(
             f"{f.location()}: [{f.checker}] {f.message}" for f in result.findings
         )
-        assert len(result.checkers) >= 8
+        assert len(result.checkers) >= 9
 
 
 # ---------------------------------------------------------------------------
